@@ -1,0 +1,116 @@
+// Command mimoexp regenerates the paper's evaluation figures and tables
+// on the simulated processor substrate.
+//
+// Usage:
+//
+//	mimoexp -exp fig6|fig7|fig8|fig9|fig10|fig11|fig12|edk|all [flags]
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"mimoctl/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run: fig6, fig7, fig8, fig9, fig10, fig11, fig12, edk, ablation, design, all")
+		seed   = flag.Int64("seed", experiments.DefaultSeed, "random seed for all stochastic behaviour")
+		epochs = flag.Int("epochs", 0, "override the experiment's epoch budget (0 = experiment default)")
+		k      = flag.Int("k", 3, "metric exponent for -exp edk: 1 = E, 3 = E×D²")
+		format = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+	outputCSV = *format == "csv"
+
+	runners := map[string]func() error{
+		"fig6":     func() error { return run1(experiments.Fig6(*seed, *epochs)) },
+		"fig7":     func() error { return run1(experiments.Fig7(*seed, 8)) },
+		"fig8":     func() error { return run1(experiments.Fig8(*seed, *epochs)) },
+		"fig9":     func() error { return run1(experiments.Fig9(*seed, *epochs)) },
+		"fig10":    func() error { return run1(experiments.Fig10(*seed, *epochs)) },
+		"fig11":    func() error { return run1(experiments.Fig11(*seed, *epochs)) },
+		"fig12":    func() error { return run1(experiments.Fig12(*seed, *epochs, 0)) },
+		"edk":      func() error { return run1(experiments.TableEDK(*seed, *epochs, *k)) },
+		"ablation": func() error { return run1(experiments.Ablation(*seed, *epochs)) },
+		"design":   func() error { return printDesign(*seed) },
+	}
+	order := []string{"design", "fig6", "fig7", "fig8", "fig11", "fig12", "fig9", "fig10", "edk", "ablation"}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = order
+	}
+	for _, name := range names {
+		runner, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; have %s\n", name, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		t0 := time.Now()
+		if err := runner(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+// textResult is any experiment result that can render itself.
+type textResult interface{ WriteText(w io.Writer) }
+
+// run1 adapts the (result, error) returns of the experiment functions,
+// honoring the -format flag (every result also implements
+// experiments.Tabular for CSV).
+func run1(res textResult, err error) error {
+	if err != nil {
+		return err
+	}
+	if outputCSV {
+		if tab, ok := res.(experiments.Tabular); ok {
+			return experiments.WriteCSV(os.Stdout, tab)
+		}
+	}
+	res.WriteText(os.Stdout)
+	return nil
+}
+
+// outputCSV is set from the -format flag before any experiment runs.
+var outputCSV bool
+
+// printDesign reports the Fig. 3 design-flow diagnostics for the
+// standard 2- and 3-input controllers.
+func printDesign(seed int64) error {
+	for _, three := range []bool{false, true} {
+		ctrl, rep, err := experiments.DesignedMIMO(three, seed)
+		if err != nil {
+			return err
+		}
+		label := "2-input (frequency, cache)"
+		if three {
+			label = "3-input (frequency, cache, ROB)"
+		}
+		fmt.Printf("MIMO design, %s:\n", label)
+		fmt.Printf("  model dimension:        %d\n", rep.Model.SS.Order())
+		fmt.Printf("  training fit (IPS, P):  %.1f%%, %.1f%%\n", rep.TrainingFit[0], rep.TrainingFit[1])
+		if len(rep.ValidationErr) == 2 {
+			fmt.Printf("  validation err (IPS,P): %.1f%%, %.1f%%  (paper: 14%%, 10%%)\n",
+				100*rep.ValidationErr[0], 100*rep.ValidationErr[1])
+		}
+		fmt.Printf("  guardbands (IPS, P):    %.0f%%, %.0f%%\n", 100*rep.Guardbands[0], 100*rep.Guardbands[1])
+		fmt.Printf("  robust stability:       nominal=%v robust=%v peak=%.3f margin=%.2f (after %d redesigns)\n",
+			rep.RSA.NominallyStable, rep.RSA.RobustlyStable, rep.RSA.PeakGain, rep.RSA.Margin, rep.RSAIterations)
+		fmt.Printf("  final input weights:    %v\n", rep.FinalInputWeights)
+		ips, p := ctrl.Targets()
+		fmt.Printf("  default targets:        %.1f BIPS, %.1f W\n\n", ips, p)
+	}
+	return nil
+}

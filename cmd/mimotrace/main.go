@@ -1,0 +1,127 @@
+// Command mimotrace runs one closed-loop experiment and emits a
+// per-epoch CSV trace (epoch, targets, measured and true outputs, knob
+// settings) for plotting — the raw data behind Figures 6, 11, and 12.
+//
+// Examples:
+//
+//	mimotrace -workload namd -arch mimo -epochs 5000 > trace.csv
+//	mimotrace -workload astar -arch heuristic -battery
+//	mimotrace -workload milc -arch decoupled -ips 2.0 -power 1.6
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"mimoctl/internal/core"
+	"mimoctl/internal/experiments"
+	"mimoctl/internal/sim"
+	"mimoctl/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "namd", "application to run (SPEC CPU2006 name)")
+		arch     = flag.String("arch", "mimo", "controller: mimo, mimo3, heuristic, decoupled, baseline")
+		epochs   = flag.Int("epochs", 5000, "number of 50 µs control epochs")
+		ips      = flag.Float64("ips", core.DefaultIPSTarget, "IPS target (BIPS)")
+		power    = flag.Float64("power", core.DefaultPowerTarget, "power target (W)")
+		battery  = flag.Bool("battery", false, "drive targets from the battery/QoE scheduler (Fig. 12)")
+		seed     = flag.Int64("seed", experiments.DefaultSeed, "simulation seed")
+		every    = flag.Int("every", 1, "emit every Nth epoch")
+	)
+	flag.Parse()
+
+	w, err := workloads.ByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	ctrl, err := buildController(*arch, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	ctrl.SetTargets(*ips, *power)
+
+	var sched *core.BatteryScheduler
+	if *battery {
+		sched, err = core.NewBatteryScheduler(core.BatteryScheduleConfig{
+			InitialIPS: *ips, InitialPower: *power, TotalEnergyJ: 1.0,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	proc, err := sim.NewProcessor(w, sim.DefaultProcessorOptions(), *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	out := csv.NewWriter(os.Stdout)
+	defer out.Flush()
+	header := []string{"epoch", "ips_target", "power_target", "ips_meas", "power_meas",
+		"ips_true", "power_true", "freq_ghz", "l2_ways", "rob", "temp_c", "phase"}
+	if err := out.Write(header); err != nil {
+		fatal(err)
+	}
+
+	tel := proc.Step()
+	for k := 0; k < *epochs; k++ {
+		if sched != nil {
+			if i, p, changed := sched.Step(tel); changed {
+				ctrl.SetTargets(i, p)
+			}
+		}
+		cfg := ctrl.Step(tel)
+		if err := proc.Apply(cfg); err != nil {
+			fatal(err)
+		}
+		tel = proc.Step()
+		if k%*every != 0 {
+			continue
+		}
+		ti, tp := ctrl.Targets()
+		rec := []string{
+			strconv.Itoa(k),
+			f(ti), f(tp), f(tel.IPS), f(tel.PowerW), f(tel.TrueIPS), f(tel.TruePowerW),
+			f(cfg.FreqGHz()), strconv.Itoa(cfg.L2Ways()), strconv.Itoa(cfg.ROBEntries()),
+			f(tel.TempC), strconv.Itoa(tel.PhaseID),
+		}
+		if err := out.Write(rec); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func buildController(arch string, seed int64) (core.ArchController, error) {
+	switch arch {
+	case "mimo":
+		ctrl, _, err := experiments.DesignedMIMO(false, seed)
+		return ctrl, err
+	case "mimo3":
+		ctrl, _, err := experiments.DesignedMIMO(true, seed)
+		return ctrl, err
+	case "heuristic":
+		return experiments.NewHeuristicTracker(false), nil
+	case "decoupled":
+		return experiments.DesignedDecoupled(seed)
+	case "baseline":
+		cfg, err := experiments.BaselineFor(2, false, seed)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewStaticController(cfg)
+	default:
+		return nil, fmt.Errorf("unknown architecture %q", arch)
+	}
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 5, 64) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Time-varying tracking: the paper's second use case (§V). A high-level
+// agent — here the QoE/battery scheduler of §VII-B2 — lowers the IPS and
+// power references every 2000 epochs as a 1 J battery drains, and the
+// MIMO controller re-tracks each new reference pair.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mimoctl/internal/core"
+	"mimoctl/internal/sim"
+	"mimoctl/internal/workloads"
+)
+
+func main() {
+	var training []sim.Workload
+	for _, p := range workloads.TrainingSet() {
+		training = append(training, p)
+	}
+	ctrl, _, err := core.DesignMIMO(core.DesignSpec{Training: training, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	astar, err := workloads.ByName("astar")
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc, err := sim.NewProcessor(astar, sim.DefaultProcessorOptions(), 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := core.NewBatteryScheduler(core.BatteryScheduleConfig{
+		InitialIPS:   2.5,
+		InitialPower: 2.0,
+		TotalEnergyJ: 1.0, // the paper's total energy supply
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl.SetTargets(2.5, 2.0)
+
+	tel := proc.Step()
+	for epoch := 0; epoch < 10000; epoch++ {
+		ipsRef, pRef, changed := sched.Step(tel)
+		if changed {
+			fmt.Printf("epoch %5d: battery %4.0f%% -> new targets %.2f BIPS, %.2f W\n",
+				epoch, 100*sched.Remaining(), ipsRef, pRef)
+			ctrl.SetTargets(ipsRef, pRef)
+		}
+		cfg := ctrl.Step(tel)
+		if err := proc.Apply(cfg); err != nil {
+			log.Fatal(err)
+		}
+		tel = proc.Step()
+		if epoch%2000 == 1999 {
+			fmt.Printf("epoch %5d: attained %.2f BIPS, %.2f W at %s\n",
+				epoch, tel.TrueIPS, tel.TruePowerW, cfg)
+		}
+	}
+	fmt.Printf("energy consumed: %.3f J of 1 J\n", sched.ConsumedJ())
+}

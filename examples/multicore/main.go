@@ -1,0 +1,70 @@
+// Multicore coordination: per-core MIMO controllers under one chip power
+// budget. A slow chip agent negotiates purely in output space — it hands
+// each core an (IPS goal, power allocation) pair — and each core's fast
+// MIMO controller finds the knob settings. Compare the demand-aware
+// allocator against an uncoordinated equal split.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mimoctl/internal/core"
+	"mimoctl/internal/multicore"
+	"mimoctl/internal/sim"
+	"mimoctl/internal/workloads"
+)
+
+func main() {
+	const budgetW = 6.0
+	apps := []string{"gamess", "namd", "mcf", "milc"}
+
+	for _, policy := range []multicore.Policy{multicore.EqualShare, multicore.DemandProportional} {
+		chip, err := buildChip(apps, budgetW, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trace, err := chip.Run(4000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ips, power float64
+		n := 0
+		for _, tel := range trace[1500:] {
+			ips += tel.TotalIPS
+			power += tel.TotalPower
+			n++
+		}
+		fmt.Printf("%-20s total %.2f BIPS at %.2f W (budget %.1f W)\n",
+			policy, ips/float64(n), power/float64(n), budgetW)
+		fmt.Printf("  per-core power targets:")
+		for i, a := range chip.Allocations() {
+			fmt.Printf("  %s=%.2fW", apps[i], a)
+		}
+		fmt.Println()
+	}
+}
+
+func buildChip(apps []string, budgetW float64, policy multicore.Policy) (*multicore.Chip, error) {
+	var training []sim.Workload
+	for _, p := range workloads.TrainingSet() {
+		training = append(training, p)
+	}
+	cores := make([]*multicore.Core, len(apps))
+	for i, name := range apps {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		proc, err := sim.NewProcessor(w, sim.DefaultProcessorOptions(), int64(100+i))
+		if err != nil {
+			return nil, err
+		}
+		ctrl, _, err := core.DesignMIMO(core.DesignSpec{Training: training, Seed: 1, EpochsPerApp: 1500})
+		if err != nil {
+			return nil, err
+		}
+		cores[i] = &multicore.Core{Proc: proc, Ctrl: ctrl, IPSGoal: 2.5}
+	}
+	return multicore.New(cores, budgetW, policy)
+}

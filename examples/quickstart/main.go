@@ -1,0 +1,63 @@
+// Quickstart: design a MIMO controller with the paper's Fig. 3 flow and
+// use it to track a performance and a power target at the same time —
+// the paper's first use case (§V "Tracking Multiple References").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mimoctl/internal/core"
+	"mimoctl/internal/sim"
+	"mimoctl/internal/workloads"
+)
+
+func main() {
+	// 1. Design the controller: black-box system identification on the
+	//    paper's training applications, LQG synthesis with the Table III
+	//    weights, validation, and robust stability analysis.
+	var training []sim.Workload
+	for _, p := range workloads.TrainingSet() {
+		training = append(training, p)
+	}
+	ctrl, report, err := core.DesignMIMO(core.DesignSpec{
+		Training:   training,
+		Validation: []sim.Workload{must("h264ref"), must("tonto")},
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("designed MIMO controller: model dim %d, robustly stable: %v (peak gain %.2f)\n",
+		report.Model.SS.Order(), report.RSA.RobustlyStable, report.RSA.PeakGain)
+
+	// 2. Deploy it on a processor running namd, targeting 2.5 BIPS at
+	//    2 W (the paper's §VII-B1 experiment).
+	proc, err := sim.NewProcessor(must("namd"), sim.DefaultProcessorOptions(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl.SetTargets(2.5, 2.0)
+
+	tel := proc.Step()
+	for epoch := 0; epoch < 3000; epoch++ {
+		cfg := ctrl.Step(tel) // one controller invocation per 50 µs epoch
+		if err := proc.Apply(cfg); err != nil {
+			log.Fatal(err)
+		}
+		tel = proc.Step()
+		if epoch%500 == 0 {
+			fmt.Printf("epoch %4d: %s -> %.2f BIPS, %.2f W\n",
+				epoch, cfg, tel.TrueIPS, tel.TruePowerW)
+		}
+	}
+	fmt.Printf("final: %.2f BIPS (target 2.5), %.2f W (target 2.0)\n", tel.TrueIPS, tel.TruePowerW)
+}
+
+func must(name string) sim.Workload {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return w
+}

@@ -1,0 +1,88 @@
+// Robust stability analysis in action (paper §IV-B4): design a
+// controller, compute its small-gain uncertainty margin, then perturb
+// the plant progressively and watch the closed loop stay stable inside
+// the certified region — and (possibly) fail beyond it. This is the
+// analysis the paper argues heuristic controllers cannot offer: "for
+// heuristic algorithms, it is not possible to perform a similar
+// stability analysis."
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mimoctl/internal/core"
+	"mimoctl/internal/lqg"
+	"mimoctl/internal/lti"
+	"mimoctl/internal/mat"
+	"mimoctl/internal/robust"
+	"mimoctl/internal/sim"
+	"mimoctl/internal/sysid"
+	"mimoctl/internal/workloads"
+)
+
+func main() {
+	// Identify the plant and design the LQG controller.
+	var training []sim.Workload
+	for _, p := range workloads.TrainingSet() {
+		training = append(training, p)
+	}
+	data, err := core.CollectIdentificationData(training, false, 2500, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := sysid.FitARX(data, sysid.ARXOrders{NA: 2, NB: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl, err := lqg.Design(model.SS,
+		lqg.Weights{
+			OutputWeights: []float64{core.DefaultIPSWeight, core.DefaultPowerWeight},
+			InputWeights:  []float64{core.DefaultFreqWeight, core.DefaultCacheWeight},
+		},
+		lqg.Noise{W: model.W, V: model.V},
+		lqg.Options{DeltaU: true, Integral: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrlSS, err := ctrl.AsStateSpace()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The certificate: the largest uniform multiplicative output
+	// perturbation the small-gain theorem guarantees stability for.
+	margin, err := robust.WorstCaseGuardband(model.SS, ctrlSS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("small-gain certificate: stable for all output perturbations ≤ %.0f%%\n\n", 100*margin)
+
+	// Probe reality: perturb the plant's output map by ±g and check the
+	// actual closed-loop spectral radius.
+	fmt.Printf("%-12s %-22s %s\n", "perturbation", "closed-loop ρ", "stable?")
+	for _, frac := range []float64{0, 0.25, 0.5, 0.9, 1.2, 2.0} {
+		g := frac * margin
+		pert := mat.Add(mat.Identity(2), mat.Scale(g, mat.Diag(1, -1)))
+		pPlant := lti.MustStateSpace(model.SS.A, model.SS.B, mat.Mul(pert, model.SS.C), nil, model.SS.Ts)
+		loop, err := robust.CloseLoop(pPlant, ctrlSS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rho, err := mat.SpectralRadius(loop.A)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mark := "stable"
+		if rho >= 1 {
+			mark = "UNSTABLE"
+		}
+		note := ""
+		if frac > 1 {
+			note = "  (beyond the certificate — not guaranteed)"
+		}
+		fmt.Printf("%5.0f%%        ρ = %.4f             %s%s\n", 100*g, rho, mark, note)
+	}
+	fmt.Println("\nEvery perturbation within the certificate is stable; the certificate is")
+	fmt.Println("sufficient but not necessary, so points beyond it may or may not hold.")
+}

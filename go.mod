@@ -1,0 +1,3 @@
+module mimoctl
+
+go 1.22

@@ -1,0 +1,96 @@
+// Package core implements the paper's primary contribution: MIMO
+// control-theoretic controllers for processor architecture knobs, the
+// design flow that produces them (Fig. 3), and the three uses of §V —
+// tracking multiple references, time-varying tracking, and fast
+// optimization of E·D^k leveraging tracking.
+package core
+
+import "mimoctl/internal/sim"
+
+// ArchController is a hardware controller invoked once per 50 µs control
+// epoch: it reads the sensors from the completed epoch and chooses the
+// knob settings for the next one. Implementations: the MIMO LQG
+// controller (this package), decoupled SISO controllers
+// (internal/decoupled), and the heuristic controller
+// (internal/heuristic).
+type ArchController interface {
+	// Name identifies the architecture for reports (Table IV).
+	Name() string
+	// SetTargets updates the output references: performance in BIPS and
+	// power in watts.
+	SetTargets(ips, power float64)
+	// Targets returns the current references.
+	Targets() (ips, power float64)
+	// Step consumes the telemetry of the finished epoch and returns the
+	// configuration to apply for the next epoch.
+	Step(t sim.Telemetry) sim.Config
+	// Reset clears controller state (estimates, integrators, search
+	// positions) without changing targets.
+	Reset()
+}
+
+// Defaults from the paper's Table III.
+const (
+	// Output weights (Tracking Error Cost Q): power is √1000 ≈ 30×
+	// more important than IPS.
+	DefaultPowerWeight = 10000.0
+	DefaultIPSWeight   = 10.0
+	// Input weights (Control Effort Cost R) in the controller's
+	// normalized input units: frequency in GHz, cache size in L2 ways,
+	// ROB size in 16-entry units. The paper's Table III ratios are
+	// preserved (freq:cache = 20:1, ROB:cache = 2:1); the absolute scale
+	// is calibrated to this plant's units so the closed loop is neither
+	// ripply nor sluggish (§IV-B2, Fig. 4).
+	DefaultFreqWeight  = 40.0
+	DefaultCacheWeight = 2.0
+	DefaultROBWeight   = 4.0
+	// Uncertainty guardbands (§VI-A2): 50% for IPS, 30% for power.
+	DefaultIPSGuardband   = 0.50
+	DefaultPowerGuardband = 0.30
+	// Model dimension chosen in the paper (§VI-A2, Fig. 7).
+	DefaultModelDimension = 4
+	// Optimizer parameters (Table III).
+	DefaultOptimizerMaxTries = 10
+	// OptimizerPeriodEpochs is 10 ms at 50 µs per epoch.
+	DefaultOptimizerPeriodEpochs = 200
+	// Default tracking targets (§VII-B1).
+	DefaultIPSTarget   = 2.5
+	DefaultPowerTarget = 2.0
+)
+
+// ROBUnit is the granularity of the normalized ROB input channel: the
+// controller reasons in 16-entry units (1..8) so the three knobs share
+// comparable numeric ranges and the Table III weights apply.
+const ROBUnit = 16.0
+
+// knobsFromConfig converts a configuration to the controller's
+// normalized continuous input vector. The 2-input variant is
+// [freq GHz, L2 ways]; the 3-input variant appends ROB/16.
+func knobsFromConfig(cfg sim.Config, threeInput bool) []float64 {
+	u := []float64{cfg.FreqGHz(), float64(cfg.L2Ways())}
+	if threeInput {
+		u = append(u, float64(cfg.ROBEntries())/ROBUnit)
+	}
+	return u
+}
+
+// ActuatorHysteresis is the fraction of a knob step the continuous
+// request must cross beyond the midpoint before the discrete setting
+// changes, suppressing quantization limit cycles (each spurious DVFS
+// move costs a 5 µs stall).
+const ActuatorHysteresis = 0.25
+
+// configFromKnobs quantizes a normalized continuous input vector to a
+// legal configuration with hysteresis around the current settings. With
+// two inputs the ROB stays at its current setting.
+func configFromKnobs(u []float64, threeInput bool, current sim.Config) sim.Config {
+	rob := float64(current.ROBEntries())
+	if threeInput {
+		rob = u[2] * ROBUnit
+	}
+	cfg := sim.NearestConfigHysteresis(u[0], u[1], rob, current, ActuatorHysteresis)
+	if !threeInput {
+		cfg.ROBIdx = current.ROBIdx
+	}
+	return cfg
+}

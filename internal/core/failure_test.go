@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mimoctl/internal/sim"
+)
+
+// Failure-injection tests: the deployed controller must stay finite,
+// legal, and recover when the sensors misbehave — the "unexpected corner
+// cases" the paper argues heuristic controllers mishandle (§I).
+
+// runWithSensorFault drives the controller on namd, applying fault() to
+// each telemetry sample before the controller sees it.
+func runWithSensorFault(t *testing.T, fault func(epoch int, tel *sim.Telemetry), epochs int) (lastIPS, lastPower float64) {
+	t.Helper()
+	ctrl, _ := designTestController(t, false)
+	ctrl.SetTargets(DefaultIPSTarget, DefaultPowerTarget)
+	proc, err := sim.NewProcessor(mustWorkload(t, "namd"), sim.DefaultProcessorOptions(), 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := proc.Step()
+	var sumI, sumP float64
+	n := 0
+	for k := 0; k < epochs; k++ {
+		faulty := tel
+		fault(k, &faulty)
+		cfg := ctrl.Step(faulty)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("epoch %d: controller produced illegal config: %v", k, err)
+		}
+		if err := proc.Apply(cfg); err != nil {
+			t.Fatal(err)
+		}
+		tel = proc.Step()
+		if math.IsNaN(tel.TrueIPS) || math.IsInf(tel.TruePowerW, 0) {
+			t.Fatalf("epoch %d: plant state corrupted", k)
+		}
+		if k >= epochs-300 {
+			sumI += tel.TrueIPS
+			sumP += tel.TruePowerW
+			n++
+		}
+	}
+	return sumI / float64(n), sumP / float64(n)
+}
+
+func TestControllerSurvivesSensorDropout(t *testing.T) {
+	// Sensors read zero for 200 consecutive epochs mid-run (a stuck
+	// power meter); the controller must recover afterwards.
+	ips, power := runWithSensorFault(t, func(k int, tel *sim.Telemetry) {
+		if k >= 1000 && k < 1200 {
+			tel.IPS = 0
+			tel.PowerW = 0
+		}
+	}, 3500)
+	if math.Abs(power-DefaultPowerTarget)/DefaultPowerTarget > 0.15 {
+		t.Fatalf("power %.3f W did not recover after dropout", power)
+	}
+	if ips < 1.5 {
+		t.Fatalf("IPS %.3f did not recover after dropout", ips)
+	}
+}
+
+func TestControllerSurvivesSensorSpikes(t *testing.T) {
+	// Occasional wild outliers (10x spikes) must not destabilize the
+	// loop — the Kalman filter and the Δu cost bound the reaction.
+	ips, power := runWithSensorFault(t, func(k int, tel *sim.Telemetry) {
+		if k%97 == 0 {
+			tel.IPS *= 10
+			tel.PowerW *= 10
+		}
+	}, 3500)
+	if math.Abs(power-DefaultPowerTarget)/DefaultPowerTarget > 0.20 {
+		t.Fatalf("power %.3f W under spikes", power)
+	}
+	if ips < 1.2 {
+		t.Fatalf("IPS %.3f under spikes", ips)
+	}
+}
+
+func TestControllerSurvivesFrozenSensor(t *testing.T) {
+	// A sensor frozen at a constant plausible value must not cause
+	// divergence (the integrators see a constant error; anti-windup and
+	// saturation bound the response to the knob range).
+	var frozen sim.Telemetry
+	haveFrozen := false
+	_, _ = runWithSensorFault(t, func(k int, tel *sim.Telemetry) {
+		if k == 500 {
+			frozen = *tel
+			haveFrozen = true
+		}
+		if haveFrozen && k > 500 {
+			tel.IPS = frozen.IPS
+			tel.PowerW = frozen.PowerW
+		}
+	}, 2500)
+	// Reaching here without NaN/illegal configs is the assertion.
+}
+
+func TestControllerUnreachableTargetsSaturateGracefully(t *testing.T) {
+	// Absurd targets must pin the knobs at a range limit without
+	// oscillation or numeric blowup — the anti-windup case.
+	ctrl, _ := designTestController(t, false)
+	ctrl.SetTargets(50, 40) // far beyond the hardware
+	proc, err := sim.NewProcessor(mustWorkload(t, "namd"), sim.DefaultProcessorOptions(), 92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := proc.Step()
+	var cfg sim.Config
+	for k := 0; k < 2000; k++ {
+		cfg = ctrl.Step(tel)
+		if err := proc.Apply(cfg); err != nil {
+			t.Fatal(err)
+		}
+		tel = proc.Step()
+	}
+	// Must end at (or essentially at) the maximum-performance corner.
+	if cfg.FreqIdx < len(sim.FreqSettingsGHz)-2 {
+		t.Fatalf("frequency %v not saturated high for unreachable targets", cfg)
+	}
+	// And switching back to feasible targets must recover tracking.
+	ctrl.SetTargets(DefaultIPSTarget, DefaultPowerTarget)
+	var sumP float64
+	n := 0
+	for k := 0; k < 2500; k++ {
+		cfg = ctrl.Step(tel)
+		if err := proc.Apply(cfg); err != nil {
+			t.Fatal(err)
+		}
+		tel = proc.Step()
+		if k > 2000 {
+			sumP += tel.TruePowerW
+			n++
+		}
+	}
+	if e := math.Abs(sumP/float64(n)-DefaultPowerTarget) / DefaultPowerTarget; e > 0.15 {
+		t.Fatalf("power error %.1f%% after recovering from saturation", e*100)
+	}
+}
+
+func TestControllerHandlesAbruptPhaseSwings(t *testing.T) {
+	// milc has four phases with different memory behaviour; the
+	// controller must remain stable across every transition.
+	ctrl, _ := designTestController(t, false)
+	ctrl.SetTargets(DefaultIPSTarget, DefaultPowerTarget)
+	proc, err := sim.NewProcessor(mustWorkload(t, "milc"), sim.DefaultProcessorOptions(), 93)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := proc.Step()
+	worstP := 0.0
+	for k := 0; k < 15000; k++ {
+		cfg := ctrl.Step(tel)
+		if err := proc.Apply(cfg); err != nil {
+			t.Fatal(err)
+		}
+		tel = proc.Step()
+		if k > 1000 && tel.TruePowerW > worstP {
+			worstP = tel.TruePowerW
+		}
+	}
+	// Transients may overshoot, but never to absurd power.
+	if worstP > 2.0*1.8 {
+		t.Fatalf("worst-case power %.2f W across phase changes", worstP)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mimoctl/internal/lqg"
+	"mimoctl/internal/sim"
+	"mimoctl/internal/sysid"
+)
+
+// MIMOController is the paper's controller (Table IV "MIMO"): an LQG
+// servo controller over the identified plant model, actuating frequency
+// and cache size (plus ROB size in the 3-input variant) to track IPS and
+// power references in a coordinated way.
+//
+// All model arithmetic happens in deviation coordinates around the
+// identification operating point; this wrapper converts telemetry and
+// references into that frame and quantizes the controller's continuous
+// input requests onto the legal knob settings.
+type MIMOController struct {
+	lq         *lqg.Controller
+	off        sysid.Offsets
+	threeInput bool
+
+	ipsTarget, powerTarget float64
+	cur                    sim.Config
+	haveCur                bool
+}
+
+// NewMIMOController wraps a designed LQG controller. Prefer DesignMIMO,
+// which runs the full Fig. 3 flow and calls this at the end.
+func NewMIMOController(lq *lqg.Controller, off sysid.Offsets, threeInput bool) (*MIMOController, error) {
+	wantIn := 2
+	if threeInput {
+		wantIn = 3
+	}
+	if lq.Plant().Inputs() != wantIn {
+		return nil, fmt.Errorf("core: controller has %d inputs, want %d", lq.Plant().Inputs(), wantIn)
+	}
+	if lq.Plant().Outputs() != 2 {
+		return nil, errors.New("core: controller must have outputs [IPS, power]")
+	}
+	c := &MIMOController{lq: lq, off: off, threeInput: threeInput}
+	c.SetTargets(DefaultIPSTarget, DefaultPowerTarget)
+	return c, nil
+}
+
+// Name implements ArchController.
+func (c *MIMOController) Name() string { return "MIMO" }
+
+// ThreeInput reports whether the ROB knob is controlled.
+func (c *MIMOController) ThreeInput() bool { return c.threeInput }
+
+// LQG exposes the inner controller (for analysis and tests).
+func (c *MIMOController) LQG() *lqg.Controller { return c.lq }
+
+// Offsets returns the identification operating point.
+func (c *MIMOController) Offsets() sysid.Offsets { return c.off }
+
+// SetTargets implements ArchController.
+func (c *MIMOController) SetTargets(ips, power float64) {
+	c.ipsTarget, c.powerTarget = ips, power
+	ref := []float64{ips - c.off.Y0[0], power - c.off.Y0[1]}
+	// The reference is always dimensionally valid here; the error path
+	// is unreachable after construction checks.
+	if err := c.lq.SetReference(ref); err != nil {
+		panic(err)
+	}
+}
+
+// Targets implements ArchController.
+func (c *MIMOController) Targets() (float64, float64) { return c.ipsTarget, c.powerTarget }
+
+// Step implements ArchController: Kalman update, LQR feedback,
+// quantization to legal settings, and actuator feedback so the estimator
+// tracks the input actually applied.
+func (c *MIMOController) Step(t sim.Telemetry) sim.Config {
+	if !c.haveCur {
+		c.cur = t.Config
+		c.haveCur = true
+	}
+	y := []float64{t.IPS - c.off.Y0[0], t.PowerW - c.off.Y0[1]}
+	du, err := c.lq.Step(y)
+	if err != nil {
+		// Dimensions are fixed at construction; keep the current config
+		// if the impossible happens.
+		return c.cur
+	}
+	// Deviation -> absolute knob units.
+	u := make([]float64, len(du))
+	for i := range du {
+		u[i] = du[i] + c.off.U0[i]
+	}
+	cfg := configFromKnobs(u, c.threeInput, c.cur)
+	// Report the quantized input back in deviation coordinates.
+	uq := knobsFromConfig(cfg, c.threeInput)
+	dq := make([]float64, len(uq))
+	for i := range uq {
+		dq[i] = uq[i] - c.off.U0[i]
+	}
+	if err := c.lq.ObserveApplied(dq); err == nil {
+		c.cur = cfg
+	}
+	return c.cur
+}
+
+// Reset implements ArchController.
+func (c *MIMOController) Reset() {
+	c.lq.Reset()
+	c.haveCur = false
+	c.SetTargets(c.ipsTarget, c.powerTarget)
+}

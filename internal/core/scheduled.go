@@ -1,0 +1,189 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mimoctl/internal/sim"
+)
+
+// Gain scheduling: the paper's controller linearizes the processor
+// around a single operating point, and its uncertainty guardband absorbs
+// the resulting model error across the whole range. A classical
+// refinement — natural future work for the paper's methodology — is a
+// bank of controllers, each identified around its own operating region,
+// with the deployed controller selected at runtime by the measured
+// operating point. Every region re-runs the same Fig. 3 design flow, so
+// the scheduling layer adds no new hand tuning.
+
+// Region is one operating regime of the scheduled controller.
+type Region struct {
+	// Name labels the region in reports.
+	Name string
+	// PowerMaxW is the upper edge of the region in measured watts; the
+	// last region's edge is +Inf.
+	PowerMaxW float64
+	// Ctrl is the region's controller, identified with excitation
+	// restricted to the region's frequency range.
+	Ctrl *MIMOController
+}
+
+// ScheduledController selects among region controllers by smoothed
+// measured power, with hysteresis so boundary noise cannot chatter
+// between regions.
+type ScheduledController struct {
+	regions []Region
+	// HysteresisW is the band around a region edge within which no
+	// switch happens.
+	HysteresisW float64
+
+	active     int
+	emaPower   float64
+	haveEMA    bool
+	ipsTarget  float64
+	pwrTarget  float64
+	switchings int
+}
+
+// ScheduledRegionSpec defines one region for DesignScheduled.
+type ScheduledRegionSpec struct {
+	Name string
+	// PowerMaxW is the region's upper power edge.
+	PowerMaxW float64
+	// FreqGHzMin/Max restrict the identification excitation.
+	FreqGHzMin, FreqGHzMax float64
+}
+
+// DefaultScheduledRegions splits the plant into low/mid/high power
+// regimes with overlapping identification ranges.
+func DefaultScheduledRegions() []ScheduledRegionSpec {
+	return []ScheduledRegionSpec{
+		{Name: "low", PowerMaxW: 1.3, FreqGHzMin: 0.5, FreqGHzMax: 1.1},
+		{Name: "mid", PowerMaxW: 2.2, FreqGHzMin: 0.9, FreqGHzMax: 1.6},
+		{Name: "high", PowerMaxW: 1e9, FreqGHzMin: 1.4, FreqGHzMax: 2.0},
+	}
+}
+
+// DesignScheduled runs the Fig. 3 flow once per region and assembles the
+// scheduled controller.
+func DesignScheduled(base DesignSpec, regions []ScheduledRegionSpec) (*ScheduledController, error) {
+	if len(regions) < 2 {
+		return nil, errors.New("core: gain scheduling needs at least two regions")
+	}
+	sc := &ScheduledController{HysteresisW: 0.15}
+	for i, r := range regions {
+		if i > 0 && r.PowerMaxW <= regions[i-1].PowerMaxW {
+			return nil, fmt.Errorf("core: region %q power edge not increasing", r.Name)
+		}
+		spec := base
+		spec.Seed = base.Seed + int64(i)*7
+		spec.FreqLevels = freqLevelsInRange(r.FreqGHzMin, r.FreqGHzMax)
+		if len(spec.FreqLevels) < 3 {
+			return nil, fmt.Errorf("core: region %q frequency range too narrow", r.Name)
+		}
+		ctrl, _, err := DesignMIMO(spec)
+		if err != nil {
+			return nil, fmt.Errorf("core: region %q design: %w", r.Name, err)
+		}
+		sc.regions = append(sc.regions, Region{Name: r.Name, PowerMaxW: r.PowerMaxW, Ctrl: ctrl})
+	}
+	sc.SetTargets(DefaultIPSTarget, DefaultPowerTarget)
+	return sc, nil
+}
+
+func freqLevelsInRange(lo, hi float64) []float64 {
+	var out []float64
+	for _, f := range sim.FreqLevels() {
+		if f >= lo-1e-9 && f <= hi+1e-9 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Name implements ArchController.
+func (s *ScheduledController) Name() string { return "MIMO-scheduled" }
+
+// Regions returns the region table.
+func (s *ScheduledController) Regions() []Region { return s.regions }
+
+// ActiveRegion returns the currently selected region's name.
+func (s *ScheduledController) ActiveRegion() string { return s.regions[s.active].Name }
+
+// Switches counts region transitions since the last Reset.
+func (s *ScheduledController) Switches() int { return s.switchings }
+
+// SetTargets implements ArchController: every region controller gets the
+// same references, so a switch needs no retargeting.
+func (s *ScheduledController) SetTargets(ips, power float64) {
+	s.ipsTarget, s.pwrTarget = ips, power
+	for _, r := range s.regions {
+		r.Ctrl.SetTargets(ips, power)
+	}
+}
+
+// Targets implements ArchController.
+func (s *ScheduledController) Targets() (float64, float64) { return s.ipsTarget, s.pwrTarget }
+
+// Reset implements ArchController.
+func (s *ScheduledController) Reset() {
+	for _, r := range s.regions {
+		r.Ctrl.Reset()
+	}
+	s.active = 0
+	s.haveEMA = false
+	s.switchings = 0
+	s.SetTargets(s.ipsTarget, s.pwrTarget)
+}
+
+// Step implements ArchController: update the operating-point estimate,
+// switch regions if the target power regime changed (with hysteresis),
+// and delegate to the active region's controller.
+func (s *ScheduledController) Step(t sim.Telemetry) sim.Config {
+	if !s.haveEMA {
+		s.emaPower = t.PowerW
+		s.haveEMA = true
+	} else {
+		s.emaPower += 0.1 * (t.PowerW - s.emaPower)
+	}
+	// Region selection is driven by the *target* power regime when one
+	// is set (the schedule is about which linearization fits where the
+	// loop is heading), falling back to the measurement.
+	sel := s.pwrTarget
+	if sel <= 0 {
+		sel = s.emaPower
+	}
+	want := s.regionFor(sel)
+	if want != s.active {
+		// Hysteresis: only switch when clearly past the edge.
+		edge := s.edgeBetween(s.active, want)
+		if sel < edge-s.HysteresisW || sel > edge+s.HysteresisW {
+			// Bumpless-ish transfer: the incoming controller restarts
+			// its estimator from scratch; its Kalman filter converges
+			// within a few epochs.
+			s.regions[want].Ctrl.Reset()
+			s.regions[want].Ctrl.SetTargets(s.ipsTarget, s.pwrTarget)
+			s.active = want
+			s.switchings++
+		}
+	}
+	return s.regions[s.active].Ctrl.Step(t)
+}
+
+func (s *ScheduledController) regionFor(powerW float64) int {
+	for i, r := range s.regions {
+		if powerW <= r.PowerMaxW {
+			return i
+		}
+	}
+	return len(s.regions) - 1
+}
+
+// edgeBetween returns the power edge separating two regions.
+func (s *ScheduledController) edgeBetween(a, b int) float64 {
+	lo := a
+	if b < a {
+		lo = b
+	}
+	return s.regions[lo].PowerMaxW
+}

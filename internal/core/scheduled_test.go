@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mimoctl/internal/sim"
+)
+
+func designScheduled(t *testing.T) *ScheduledController {
+	t.Helper()
+	sc, err := DesignScheduled(DesignSpec{
+		Training:     trainingWorkloads(t),
+		EpochsPerApp: 1500,
+		Seed:         5,
+	}, DefaultScheduledRegions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestScheduledDesignValidation(t *testing.T) {
+	base := DesignSpec{Training: trainingWorkloads(t), EpochsPerApp: 1500, Seed: 5}
+	if _, err := DesignScheduled(base, DefaultScheduledRegions()[:1]); err == nil {
+		t.Fatal("expected too-few-regions error")
+	}
+	bad := DefaultScheduledRegions()
+	bad[1].PowerMaxW = bad[0].PowerMaxW // non-increasing edges
+	if _, err := DesignScheduled(base, bad); err == nil {
+		t.Fatal("expected non-increasing-edge error")
+	}
+	narrow := DefaultScheduledRegions()
+	narrow[0].FreqGHzMin, narrow[0].FreqGHzMax = 1.0, 1.1
+	if _, err := DesignScheduled(base, narrow); err == nil {
+		t.Fatal("expected narrow-range error")
+	}
+}
+
+func TestScheduledInterfaceAndRegionSelection(t *testing.T) {
+	sc := designScheduled(t)
+	var _ ArchController = sc
+	if sc.Name() != "MIMO-scheduled" || len(sc.Regions()) != 3 {
+		t.Fatal("accessors")
+	}
+	// High power target selects the high region; low target the low one.
+	sc.SetTargets(2.5, 3.0)
+	sc.Step(sim.Telemetry{IPS: 2.5, PowerW: 3.0, Config: sim.MidrangeConfig()})
+	if sc.ActiveRegion() != "high" {
+		t.Fatalf("active %q for a 3 W target", sc.ActiveRegion())
+	}
+	sc.SetTargets(1.0, 0.8)
+	for i := 0; i < 20; i++ {
+		sc.Step(sim.Telemetry{IPS: 1.0, PowerW: 0.8, Config: sim.MidrangeConfig()})
+	}
+	if sc.ActiveRegion() != "low" {
+		t.Fatalf("active %q for a 0.8 W target", sc.ActiveRegion())
+	}
+	if sc.Switches() < 1 {
+		t.Fatal("no switches counted")
+	}
+	sc.Reset()
+	if sc.Switches() != 0 {
+		t.Fatal("Reset must clear the switch count")
+	}
+}
+
+func TestScheduledHysteresisPreventsChatter(t *testing.T) {
+	sc := designScheduled(t)
+	// Targets right at the low/mid edge (1.3 W): alternating measured
+	// power around the edge must not flip the region every step.
+	sc.SetTargets(1.6, 1.3)
+	for i := 0; i < 200; i++ {
+		p := 1.25
+		if i%2 == 1 {
+			p = 1.35
+		}
+		sc.Step(sim.Telemetry{IPS: 1.6, PowerW: p, Config: sim.MidrangeConfig()})
+	}
+	if sc.Switches() > 2 {
+		t.Fatalf("%d switches at the region edge; hysteresis not working", sc.Switches())
+	}
+}
+
+func TestScheduledTracksAcrossRegimes(t *testing.T) {
+	// Sweep the targets from high to low power (a battery-style descent
+	// across all three regions) and verify tracking holds in each.
+	sc := designScheduled(t)
+	proc, err := sim.NewProcessor(mustWorkload(t, "namd"), sim.DefaultProcessorOptions(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := []struct{ ips, power float64 }{
+		{2.5, 2.4},
+		{2.0, 1.7},
+		{1.2, 1.0},
+	}
+	tel := proc.Step()
+	for _, st := range stages {
+		sc.SetTargets(st.ips, st.power)
+		var sumP float64
+		n := 0
+		for k := 0; k < 2500; k++ {
+			cfg := sc.Step(tel)
+			if err := proc.Apply(cfg); err != nil {
+				t.Fatal(err)
+			}
+			tel = proc.Step()
+			if k > 2000 {
+				sumP += tel.TruePowerW
+				n++
+			}
+		}
+		avgP := sumP / float64(n)
+		if e := math.Abs(avgP-st.power) / st.power; e > 0.12 {
+			t.Fatalf("stage %+v: power error %.1f%% (avg %.3f W, region %s)",
+				st, e*100, avgP, sc.ActiveRegion())
+		}
+	}
+	if sc.Switches() < 2 {
+		t.Fatalf("descent crossed regions only %d times", sc.Switches())
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"mimoctl/internal/sim"
+)
+
+// StaticController is the paper's Baseline architecture (Table IV): the
+// inputs are fixed at the configuration that profiling found best for
+// the target metric on the training set. It ignores telemetry.
+type StaticController struct {
+	cfg        sim.Config
+	ips, power float64
+}
+
+// NewStaticController pins the given configuration.
+func NewStaticController(cfg sim.Config) (*StaticController, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &StaticController{cfg: cfg, ips: DefaultIPSTarget, power: DefaultPowerTarget}, nil
+}
+
+// Name implements ArchController.
+func (s *StaticController) Name() string { return "Baseline" }
+
+// SetTargets implements ArchController (targets are recorded but have no
+// effect on a non-configurable architecture).
+func (s *StaticController) SetTargets(ips, power float64) { s.ips, s.power = ips, power }
+
+// Targets implements ArchController.
+func (s *StaticController) Targets() (float64, float64) { return s.ips, s.power }
+
+// Step implements ArchController.
+func (s *StaticController) Step(sim.Telemetry) sim.Config { return s.cfg }
+
+// Reset implements ArchController.
+func (s *StaticController) Reset() {}
+
+// Config returns the pinned configuration.
+func (s *StaticController) Config() sim.Config { return s.cfg }
+
+// FindBestStatic profiles every configuration on the training
+// applications and returns the one minimizing the geometric-mean
+// E·D^(k-1) per instruction (the paper's Baseline selection: "we profile
+// the training set applications and find the cache size, frequency, and
+// ROB size that deliver the best output"). With threeInput false the ROB
+// is held at the paper's 48-entry baseline.
+func FindBestStatic(training []sim.Workload, k int, threeInput bool, epochsPerApp int, seed int64) (sim.Config, float64, error) {
+	if len(training) == 0 {
+		return sim.Config{}, 0, errors.New("core: no training workloads")
+	}
+	if epochsPerApp <= 0 {
+		epochsPerApp = 400
+	}
+	robIdxs := []int{sim.BaselineConfig().ROBIdx}
+	if threeInput {
+		robIdxs = robIdxs[:0]
+		for i := range sim.ROBSettings {
+			robIdxs = append(robIdxs, i)
+		}
+	}
+	bestCfg := sim.BaselineConfig()
+	bestMetric := math.Inf(1)
+	for fi := range sim.FreqSettingsGHz {
+		for ci := range sim.CacheSettings {
+			for _, ri := range robIdxs {
+				cfg := sim.Config{FreqIdx: fi, CacheIdx: ci, ROBIdx: ri}
+				logSum := 0.0
+				valid := true
+				for wi, w := range training {
+					proc, err := sim.NewProcessor(w, sim.DefaultProcessorOptions(), seed+int64(wi))
+					if err != nil {
+						return sim.Config{}, 0, err
+					}
+					if err := proc.Apply(cfg); err != nil {
+						return sim.Config{}, 0, err
+					}
+					proc.Run(20) // settle transients
+					proc.ResetTotals()
+					proc.Run(epochsPerApp)
+					e, n, s := proc.Totals()
+					m := sim.EnergyDelayProduct(e, n, s, k)
+					if math.IsInf(m, 1) || m <= 0 {
+						valid = false
+						break
+					}
+					logSum += math.Log(m)
+				}
+				if !valid {
+					continue
+				}
+				metric := math.Exp(logSum / float64(len(training)))
+				if metric < bestMetric {
+					bestMetric, bestCfg = metric, cfg
+				}
+			}
+		}
+	}
+	return bestCfg, bestMetric, nil
+}

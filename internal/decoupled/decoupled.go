@@ -1,0 +1,223 @@
+// Package decoupled implements the paper's "Decoupled" comparison
+// architecture (Table IV): two independently designed Single Input,
+// Single Output formal controllers — one changes the cache size to
+// control IPS, the other changes the frequency to control power — with
+// no coordination between them.
+//
+// Each SISO controller is designed with the same rigor as the MIMO one
+// (system identification on the training set with only its own input
+// excited, LQG servo with Δu penalty and integral action), so the
+// comparison isolates exactly the paper's point: formally designed but
+// uncoordinated loops can fight each other, because each input in fact
+// affects both outputs (§II, §VIII-D).
+package decoupled
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"mimoctl/internal/core"
+	"mimoctl/internal/lqg"
+	"mimoctl/internal/mat"
+	"mimoctl/internal/sim"
+	"mimoctl/internal/sysid"
+)
+
+// Controller holds the two SISO loops. It controls the 2-input system
+// only (the paper cannot use Decoupled in the 3-input experiments).
+type Controller struct {
+	cacheLoop *lqg.Controller // cache ways -> IPS
+	freqLoop  *lqg.Controller // frequency -> power
+	cacheOff  sysid.Offsets
+	freqOff   sysid.Offsets
+
+	ipsTarget, powerTarget float64
+	cur                    sim.Config
+	haveCur                bool
+}
+
+// DesignSpec parameterizes the two SISO designs.
+type DesignSpec struct {
+	Training     []sim.Workload
+	EpochsPerApp int
+	Seed         int64
+	// Weights; zero selects values consistent with the MIMO design.
+	IPSWeight, PowerWeight  float64
+	CacheWeight, FreqWeight float64
+}
+
+// Design identifies the two SISO models and builds their controllers.
+func Design(spec DesignSpec) (*Controller, error) {
+	if len(spec.Training) == 0 {
+		return nil, errors.New("decoupled: training workloads required")
+	}
+	if spec.EpochsPerApp == 0 {
+		spec.EpochsPerApp = 3000
+	}
+	if spec.IPSWeight == 0 {
+		spec.IPSWeight = core.DefaultIPSWeight
+	}
+	if spec.PowerWeight == 0 {
+		spec.PowerWeight = core.DefaultPowerWeight
+	}
+	if spec.CacheWeight == 0 {
+		spec.CacheWeight = core.DefaultCacheWeight
+	}
+	if spec.FreqWeight == 0 {
+		spec.FreqWeight = core.DefaultFreqWeight
+	}
+	// SISO identification: excite one knob, hold the other at midrange.
+	cacheData, err := collectSISO(spec, true)
+	if err != nil {
+		return nil, fmt.Errorf("decoupled: cache loop identification: %w", err)
+	}
+	freqData, err := collectSISO(spec, false)
+	if err != nil {
+		return nil, fmt.Errorf("decoupled: frequency loop identification: %w", err)
+	}
+	cacheModel, err := sysid.FitARX(cacheData, sysid.ARXOrders{NA: 2, NB: 2})
+	if err != nil {
+		return nil, fmt.Errorf("decoupled: cache model: %w", err)
+	}
+	freqModel, err := sysid.FitARX(freqData, sysid.ARXOrders{NA: 2, NB: 2})
+	if err != nil {
+		return nil, fmt.Errorf("decoupled: frequency model: %w", err)
+	}
+	cacheLoop, err := lqg.Design(cacheModel.SS,
+		lqg.Weights{OutputWeights: []float64{spec.IPSWeight}, InputWeights: []float64{spec.CacheWeight}},
+		lqg.Noise{W: cacheModel.W, V: cacheModel.V},
+		lqg.Options{DeltaU: true, Integral: true})
+	if err != nil {
+		return nil, fmt.Errorf("decoupled: cache controller: %w", err)
+	}
+	freqLoop, err := lqg.Design(freqModel.SS,
+		lqg.Weights{OutputWeights: []float64{spec.PowerWeight}, InputWeights: []float64{spec.FreqWeight}},
+		lqg.Noise{W: freqModel.W, V: freqModel.V},
+		lqg.Options{DeltaU: true, Integral: true})
+	if err != nil {
+		return nil, fmt.Errorf("decoupled: frequency controller: %w", err)
+	}
+	c := &Controller{
+		cacheLoop: cacheLoop, freqLoop: freqLoop,
+		cacheOff: cacheModel.Off, freqOff: freqModel.Off,
+	}
+	c.SetTargets(core.DefaultIPSTarget, core.DefaultPowerTarget)
+	return c, nil
+}
+
+// collectSISO gathers single-knob identification data: (cache ways ->
+// IPS) when cacheLoop, else (frequency -> power). The record pairs each
+// input with the next epoch's output, as in the MIMO flow.
+func collectSISO(spec DesignSpec, cacheLoop bool) (*sysid.Data, error) {
+	total := (spec.EpochsPerApp - 1) * len(spec.Training)
+	u := mat.New(total, 1)
+	y := mat.New(total, 1)
+	row := 0
+	for wi, w := range spec.Training {
+		rng := rand.New(rand.NewSource(spec.Seed + int64(wi)*6151 + boolInt64(cacheLoop)*3331))
+		proc, err := sim.NewProcessor(w, sim.DefaultProcessorOptions(), spec.Seed+int64(wi)*15485863)
+		if err != nil {
+			return nil, err
+		}
+		var sig []float64
+		if cacheLoop {
+			sig = sysid.RandomLevels(rng, spec.EpochsPerApp, sim.CacheWaysLevels(), 3, 12)
+		} else {
+			sig = sysid.RandomLevels(rng, spec.EpochsPerApp, sim.FreqLevels(), 2, 8)
+		}
+		mid := sim.MidrangeConfig()
+		havePrev := false
+		var prevOut float64
+		for k := 0; k < spec.EpochsPerApp; k++ {
+			cfg := mid
+			if cacheLoop {
+				cfg = sim.NearestConfig(mid.FreqGHz(), sig[k], float64(mid.ROBEntries()))
+			} else {
+				cfg = sim.NearestConfig(sig[k], float64(mid.L2Ways()), float64(mid.ROBEntries()))
+			}
+			if err := proc.Apply(cfg); err != nil {
+				return nil, err
+			}
+			tel := proc.Step()
+			if havePrev {
+				if cacheLoop {
+					u.Set(row, 0, float64(cfg.L2Ways()))
+				} else {
+					u.Set(row, 0, cfg.FreqGHz())
+				}
+				y.Set(row, 0, prevOut)
+				row++
+			}
+			if cacheLoop {
+				prevOut = tel.IPS
+			} else {
+				prevOut = tel.PowerW
+			}
+			havePrev = true
+		}
+	}
+	return sysid.NewData(u, y, sim.EpochSeconds)
+}
+
+func boolInt64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Name implements core.ArchController.
+func (c *Controller) Name() string { return "Decoupled" }
+
+// SetTargets implements core.ArchController.
+func (c *Controller) SetTargets(ips, power float64) {
+	c.ipsTarget, c.powerTarget = ips, power
+	// Errors are impossible: references are scalars per loop.
+	if err := c.cacheLoop.SetReference([]float64{ips - c.cacheOff.Y0[0]}); err != nil {
+		panic(err)
+	}
+	if err := c.freqLoop.SetReference([]float64{power - c.freqOff.Y0[0]}); err != nil {
+		panic(err)
+	}
+}
+
+// Targets implements core.ArchController.
+func (c *Controller) Targets() (float64, float64) { return c.ipsTarget, c.powerTarget }
+
+// Step implements core.ArchController: each SISO loop acts on its own
+// output with no knowledge of the other.
+func (c *Controller) Step(t sim.Telemetry) sim.Config {
+	if !c.haveCur {
+		c.cur = t.Config
+		c.haveCur = true
+	}
+	duCache, err := c.cacheLoop.Step([]float64{t.IPS - c.cacheOff.Y0[0]})
+	if err != nil {
+		return c.cur
+	}
+	duFreq, err := c.freqLoop.Step([]float64{t.PowerW - c.freqOff.Y0[0]})
+	if err != nil {
+		return c.cur
+	}
+	ways := duCache[0] + c.cacheOff.U0[0]
+	freq := duFreq[0] + c.freqOff.U0[0]
+	cfg := sim.NearestConfigHysteresis(freq, ways, float64(c.cur.ROBEntries()), c.cur, core.ActuatorHysteresis)
+	cfg.ROBIdx = c.cur.ROBIdx
+	// Quantization feedback per loop.
+	if err := c.cacheLoop.ObserveApplied([]float64{float64(cfg.L2Ways()) - c.cacheOff.U0[0]}); err == nil {
+		c.cur.CacheIdx = cfg.CacheIdx
+	}
+	if err := c.freqLoop.ObserveApplied([]float64{cfg.FreqGHz() - c.freqOff.U0[0]}); err == nil {
+		c.cur.FreqIdx = cfg.FreqIdx
+	}
+	return c.cur
+}
+
+// Reset implements core.ArchController.
+func (c *Controller) Reset() {
+	c.cacheLoop.Reset()
+	c.freqLoop.Reset()
+	c.haveCur = false
+	c.SetTargets(c.ipsTarget, c.powerTarget)
+}

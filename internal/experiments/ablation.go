@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mimoctl/internal/core"
+	"mimoctl/internal/workloads"
+)
+
+// Ablation quantifies the design choices DESIGN.md calls out by
+// re-running the tracking experiment with one ingredient removed at a
+// time: the Δu (input-increment) cost, the integral action, and the
+// paper's 20:1 frequency:cache weight ratio (Table III's rationale that
+// a knob with more settings needs a higher weight).
+
+// AblationRow is one variant's tracking quality on the responsive set.
+type AblationRow struct {
+	Variant                string
+	IPSErrPct, PowerErrPct float64
+}
+
+// AblationResult holds all variants.
+type AblationResult struct {
+	Epochs int
+	Rows   []AblationRow
+}
+
+// Ablation runs the variants. epochs <= 0 selects 3000.
+func Ablation(seed int64, epochs int) (*AblationResult, error) {
+	if epochs <= 0 {
+		epochs = 3000
+	}
+	variants := []struct {
+		name   string
+		mutate func(*core.DesignSpec)
+	}{
+		{"paper (Δu + integral + 20:1)", nil},
+		{"no Δu penalty (absolute-u cost)", func(s *core.DesignSpec) { s.DisableDeltaU = true }},
+		{"no integral action", func(s *core.DesignSpec) { s.DisableIntegral = true }},
+		{"flat input weights (1:1)", func(s *core.DesignSpec) { s.FreqWeight = core.DefaultCacheWeight }},
+		{"model dimension 2", func(s *core.DesignSpec) { s.ModelDimension = 2 }},
+		{"model dimension 8", func(s *core.DesignSpec) { s.ModelDimension = 8 }},
+	}
+	res := &AblationResult{Epochs: epochs}
+	for _, v := range variants {
+		spec := core.DesignSpec{Training: TrainingWorkloads(), Seed: seed}
+		if v.mutate != nil {
+			v.mutate(&spec)
+		}
+		ctrl, _, err := core.DesignMIMO(spec)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %q: %w", v.name, err)
+		}
+		var sumI, sumP float64
+		n := 0
+		for _, p := range workloads.ResponsiveSet() {
+			ctrl.SetTargets(core.DefaultIPSTarget, core.DefaultPowerTarget)
+			st, err := RunTracking(ctrl, p, seed+101, epochs, epochs/6)
+			if err != nil {
+				return nil, err
+			}
+			sumI += st.IPSErrPct
+			sumP += st.PowerErrPct
+			n++
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Variant:   v.name,
+			IPSErrPct: sumI / float64(n), PowerErrPct: sumP / float64(n),
+		})
+	}
+	return res, nil
+}
+
+// Get returns the row for a variant (empty row if absent).
+func (r *AblationResult) Get(variant string) AblationRow {
+	for _, row := range r.Rows {
+		if row.Variant == variant {
+			return row
+		}
+	}
+	return AblationRow{}
+}
+
+// WriteText renders the table.
+func (r *AblationResult) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Ablations: responsive-set tracking errors (%d epochs, targets 2.5 BIPS / 2 W)\n", r.Epochs)
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Variant,
+			fmt.Sprintf("%.1f", row.IPSErrPct),
+			fmt.Sprintf("%.1f", row.PowerErrPct),
+		})
+	}
+	writeTable(w, []string{"variant", "IPS err %", "P err %"}, rows)
+}

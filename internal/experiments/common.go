@@ -1,0 +1,313 @@
+// Package experiments reproduces every figure and table of the paper's
+// evaluation (§VIII): each Fig* function regenerates the corresponding
+// result — the same rows/series the paper reports — on the simulated
+// processor substrate. See EXPERIMENTS.md for paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"mimoctl/internal/core"
+	"mimoctl/internal/decoupled"
+	"mimoctl/internal/heuristic"
+	"mimoctl/internal/sim"
+	"mimoctl/internal/workloads"
+)
+
+// DefaultSeed fixes all experiment randomness; experiments are
+// deterministic given a seed.
+const DefaultSeed = 2016 // ISCA 2016
+
+// TrainingWorkloads returns the paper's training set as sim.Workloads.
+func TrainingWorkloads() []sim.Workload {
+	var out []sim.Workload
+	for _, p := range workloads.TrainingSet() {
+		out = append(out, p)
+	}
+	return out
+}
+
+// ValidationWorkloads returns the paper's uncertainty-validation pair.
+func ValidationWorkloads() []sim.Workload {
+	var out []sim.Workload
+	for _, p := range workloads.ValidationSet() {
+		out = append(out, p)
+	}
+	return out
+}
+
+// designCache memoizes expensive design artifacts across experiments.
+var designCache sync.Map
+
+// DesignedMIMO returns the standard MIMO controller (cached per
+// (threeInput, seed)). The controller has runtime state, so callers
+// must Reset it before use; experiments always do.
+func DesignedMIMO(threeInput bool, seed int64) (*core.MIMOController, *core.DesignReport, error) {
+	type key struct {
+		three bool
+		seed  int64
+	}
+	type val struct {
+		ctrl *core.MIMOController
+		rep  *core.DesignReport
+		err  error
+	}
+	k := key{threeInput, seed}
+	if v, ok := designCache.Load(k); ok {
+		cv := v.(val)
+		return cv.ctrl, cv.rep, cv.err
+	}
+	ctrl, rep, err := core.DesignMIMO(core.DesignSpec{
+		ThreeInput: threeInput,
+		Training:   TrainingWorkloads(),
+		Validation: ValidationWorkloads(),
+		Seed:       seed,
+	})
+	designCache.Store(k, val{ctrl, rep, err})
+	return ctrl, rep, err
+}
+
+// DesignedDecoupled returns the decoupled SISO pair (cached per seed).
+func DesignedDecoupled(seed int64) (*decoupled.Controller, error) {
+	type key struct{ seed int64 }
+	type val struct {
+		ctrl *decoupled.Controller
+		err  error
+	}
+	k := key{seed}
+	if v, ok := designCache.Load(k); ok {
+		cv := v.(val)
+		return cv.ctrl, cv.err
+	}
+	ctrl, err := decoupled.Design(decoupled.DesignSpec{Training: TrainingWorkloads(), Seed: seed})
+	designCache.Store(k, val{ctrl, err})
+	return ctrl, err
+}
+
+// BaselineFor returns the best static configuration for metric
+// E·D^(k-1) profiled on the training set (cached per (k, threeInput)).
+func BaselineFor(k int, threeInput bool, seed int64) (sim.Config, error) {
+	type key struct {
+		k     int
+		three bool
+		seed  int64
+	}
+	type val struct {
+		cfg sim.Config
+		err error
+	}
+	ck := key{k, threeInput, seed}
+	if v, ok := designCache.Load(ck); ok {
+		cv := v.(val)
+		return cv.cfg, cv.err
+	}
+	cfg, _, err := core.FindBestStatic(TrainingWorkloads(), k, threeInput, 300, seed)
+	designCache.Store(ck, val{cfg, err})
+	return cfg, err
+}
+
+// NewHeuristicTracker builds the tracking-mode heuristic.
+func NewHeuristicTracker(threeInput bool) *heuristic.Tracker {
+	return heuristic.NewTracker(heuristic.Options{ThreeInput: threeInput})
+}
+
+// NewHeuristicSearcher builds the optimization-mode heuristic.
+func NewHeuristicSearcher(k int, threeInput bool) (*heuristic.Searcher, error) {
+	return heuristic.NewSearcher(heuristic.SearcherConfig{K: k, Options: heuristic.Options{ThreeInput: threeInput}})
+}
+
+// TrackStats summarizes a closed-loop tracking run.
+type TrackStats struct {
+	Workload string
+	Arch     string
+	// MeanIPS / MeanPower over the measured window.
+	MeanIPS, MeanPower float64
+	// IPSErrPct / PowerErrPct are the paper's "average error" metrics:
+	// mean |y - ref| / ref in percent over the measured window.
+	IPSErrPct, PowerErrPct float64
+	// EnergyJ, Instructions, Seconds over the whole run.
+	EnergyJ      float64
+	Instructions float64
+	Seconds      float64
+}
+
+// RunTracking drives a controller against a workload for `epochs`
+// control epochs, measuring after `skip` warm-up epochs against the
+// controller's (possibly time-varying) targets.
+func RunTracking(ctrl core.ArchController, w sim.Workload, seed int64, epochs, skip int) (TrackStats, error) {
+	proc, err := sim.NewProcessor(w, sim.DefaultProcessorOptions(), seed)
+	if err != nil {
+		return TrackStats{}, err
+	}
+	ctrl.Reset()
+	tel := proc.Step()
+	var sumIPS, sumP, sumIErr, sumPErr float64
+	n := 0
+	for k := 0; k < epochs; k++ {
+		cfg := ctrl.Step(tel)
+		if err := proc.Apply(cfg); err != nil {
+			return TrackStats{}, err
+		}
+		tel = proc.Step()
+		if k >= skip {
+			ipsRef, pRef := ctrl.Targets()
+			sumIPS += tel.TrueIPS
+			sumP += tel.TruePowerW
+			if ipsRef > 0 {
+				sumIErr += math.Abs(tel.TrueIPS-ipsRef) / ipsRef
+			}
+			if pRef > 0 {
+				sumPErr += math.Abs(tel.TruePowerW-pRef) / pRef
+			}
+			n++
+		}
+	}
+	e, instr, secs := proc.Totals()
+	if n == 0 {
+		n = 1
+	}
+	return TrackStats{
+		Workload: w.Name(), Arch: ctrl.Name(),
+		MeanIPS: sumIPS / float64(n), MeanPower: sumP / float64(n),
+		IPSErrPct: 100 * sumIErr / float64(n), PowerErrPct: 100 * sumPErr / float64(n),
+		EnergyJ: e, Instructions: instr, Seconds: secs,
+	}, nil
+}
+
+// RunEnergy drives a controller and returns the E·D^(k-1) per
+// instruction achieved over the run (after `warm` settling epochs).
+func RunEnergy(ctrl core.ArchController, w sim.Workload, seed int64, epochs, warm, k int) (float64, error) {
+	proc, err := sim.NewProcessor(w, sim.DefaultProcessorOptions(), seed)
+	if err != nil {
+		return 0, err
+	}
+	ctrl.Reset()
+	tel := proc.Step()
+	for i := 0; i < warm; i++ {
+		cfg := ctrl.Step(tel)
+		if err := proc.Apply(cfg); err != nil {
+			return 0, err
+		}
+		tel = proc.Step()
+	}
+	proc.ResetTotals()
+	for i := 0; i < epochs; i++ {
+		cfg := ctrl.Step(tel)
+		if err := proc.Apply(cfg); err != nil {
+			return 0, err
+		}
+		tel = proc.Step()
+	}
+	e, instr, secs := proc.Totals()
+	return sim.EnergyDelayProduct(e, instr, secs, k), nil
+}
+
+// SteadyStateEpoch returns the first epoch after which the integer
+// series never again differs from its final value by more than slack
+// steps. Returns len(series) if it never settles (the paper's "missing
+// datapoint" case, Fig. 6).
+func SteadyStateEpoch(series []int, slack int) int {
+	if len(series) == 0 {
+		return 0
+	}
+	final := series[len(series)-1]
+	last := 0
+	for i, v := range series {
+		if abs(v-final) > slack {
+			last = i + 1
+		}
+	}
+	if last >= len(series) {
+		return len(series)
+	}
+	return last
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// geoMean returns the geometric mean of positive values.
+func geoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// mean returns the arithmetic mean.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// writeTable prints an aligned text table.
+func writeTable(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	printRow(header)
+	for _, r := range rows {
+		printRow(r)
+	}
+}
+
+// SteadyStateEpochEMA is a noise-robust variant of SteadyStateEpoch: it
+// smooths the integer setting series with an exponential moving average
+// (alpha) and returns the last epoch at which the smoothed value is more
+// than tol settings away from its final smoothed value. Returns
+// len(series) if the series never settles.
+func SteadyStateEpochEMA(series []int, alpha, tol float64) int {
+	if len(series) == 0 {
+		return 0
+	}
+	ema := make([]float64, len(series))
+	ema[0] = float64(series[0])
+	for i := 1; i < len(series); i++ {
+		ema[i] = ema[i-1] + alpha*(float64(series[i])-ema[i-1])
+	}
+	final := ema[len(ema)-1]
+	last := 0
+	for i, v := range ema {
+		if math.Abs(v-final) > tol {
+			last = i + 1
+		}
+	}
+	if last >= len(series) {
+		return len(series)
+	}
+	return last
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// Tabular is implemented by every experiment result: a flat header +
+// rows view used for CSV export (cmd/mimoexp -format csv) and for
+// downstream plotting.
+type Tabular interface {
+	Table() (header []string, rows [][]string)
+}
+
+// WriteCSV renders any Tabular result as CSV.
+func WriteCSV(w io.Writer, t Tabular) error {
+	header, rows := t.Table()
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+func itoa(v int) string     { return strconv.Itoa(v) }
+
+// Table implements Tabular for Fig6Result.
+func (r *Fig6Result) Table() ([]string, [][]string) {
+	header := []string{"weights", "converged", "steady_freq_epochs", "steady_cache_epochs", "ips_err_pct", "power_err_pct"}
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Set.Label, strconv.FormatBool(p.Converged),
+			itoa(p.EpochsSteadyFreq), itoa(p.EpochsSteadyCache),
+			ftoa(p.IPSErrPct), ftoa(p.PowerErrPct),
+		})
+	}
+	return header, rows
+}
+
+// Table implements Tabular for Fig7Result.
+func (r *Fig7Result) Table() ([]string, [][]string) {
+	header := []string{"dimension", "max_err_ips_pct", "max_err_power_pct", "fit_ips_pct", "fit_power_pct"}
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			itoa(p.Dimension), ftoa(p.MaxErrIPSPct), ftoa(p.MaxErrPowerPct),
+			ftoa(p.FitIPSPct), ftoa(p.FitPowerPct),
+		})
+	}
+	return header, rows
+}
+
+// Table implements Tabular for Fig8Result.
+func (r *Fig8Result) Table() ([]string, [][]string) {
+	header := []string{"workload", "design", "steady_freq_epochs", "steady_cache_epochs"}
+	var rows [][]string
+	for _, p := range r.High {
+		rows = append(rows, []string{p.Workload, "high", itoa(p.EpochsSteadyFreq), itoa(p.EpochsSteadyCache)})
+	}
+	for _, p := range r.Low {
+		rows = append(rows, []string{p.Workload, "low", itoa(p.EpochsSteadyFreq), itoa(p.EpochsSteadyCache)})
+	}
+	return header, rows
+}
+
+// Table implements Tabular for Fig11Result.
+func (r *Fig11Result) Table() ([]string, [][]string) {
+	header := []string{"workload", "arch", "responsive", "ips_err_pct", "power_err_pct"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Workload, row.Arch, strconv.FormatBool(row.Responsive),
+			ftoa(row.IPSErrPct), ftoa(row.PowerPct),
+		})
+	}
+	return header, rows
+}
+
+// Table implements Tabular for Fig12Result: one row per sample point.
+func (r *Fig12Result) Table() ([]string, [][]string) {
+	header := []string{"workload", "arch", "epoch", "ref_pct", "ips_pct"}
+	var rows [][]string
+	for _, tr := range r.Traces {
+		for i := range tr.Epochs {
+			rows = append(rows, []string{
+				tr.Workload, tr.Arch, itoa(tr.Epochs[i]),
+				ftoa(tr.RefPct[i]), ftoa(tr.IPSPct[i]),
+			})
+		}
+	}
+	return header, rows
+}
+
+// Table implements Tabular for EnergyResult.
+func (r *EnergyResult) Table() ([]string, [][]string) {
+	header := []string{"workload", "arch", "metric", "normalized_to_baseline"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Workload, row.Arch, r.MetricName(), ftoa(row.Normalized)})
+	}
+	return header, rows
+}
+
+// Table implements Tabular for AblationResult.
+func (r *AblationResult) Table() ([]string, [][]string) {
+	header := []string{"variant", "ips_err_pct", "power_err_pct"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Variant, ftoa(row.IPSErrPct), ftoa(row.PowerErrPct)})
+	}
+	return header, rows
+}
+
+// ensure the interface is satisfied by every result type.
+var (
+	_ Tabular = (*Fig6Result)(nil)
+	_ Tabular = (*Fig7Result)(nil)
+	_ Tabular = (*Fig8Result)(nil)
+	_ Tabular = (*Fig11Result)(nil)
+	_ Tabular = (*Fig12Result)(nil)
+	_ Tabular = (*EnergyResult)(nil)
+	_ Tabular = (*AblationResult)(nil)
+)

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mimoctl/internal/core"
+	"mimoctl/internal/sim"
+	"mimoctl/internal/sysid"
+)
+
+// Fig7 reproduces Figure 7: maximum model prediction error versus model
+// dimension, justifying the paper's choice of dimension 4. One model is
+// fit per dimension on the training-set identification record; errors
+// are the model's one-step prediction errors on held-out validation
+// applications (h264ref, tonto) — the standard system-identification
+// prediction-error metric, which isolates how well each order captures
+// the plant *dynamics* (free-run error is dominated by the per-
+// application operating-point mismatch that the uncertainty guardband
+// covers instead).
+
+// Fig7Point is one model dimension's result.
+type Fig7Point struct {
+	Dimension int
+	// MaxErrIPSPct / MaxErrPowerPct are the worst prediction errors in
+	// percent (paper Fig. 7's two curves).
+	MaxErrIPSPct, MaxErrPowerPct float64
+	// FitIPSPct / FitPowerPct are NRMSE fits on validation data.
+	FitIPSPct, FitPowerPct float64
+}
+
+// Fig7Result holds the dimension sweep.
+type Fig7Result struct {
+	Points []Fig7Point
+}
+
+// Fig7 runs the sweep over even dimensions 2..maxDim (two outputs means
+// realizable state dimensions come in steps of 2).
+func Fig7(seed int64, maxDim int) (*Fig7Result, error) {
+	if maxDim <= 0 {
+		maxDim = 8
+	}
+	train, err := core.CollectIdentificationData(TrainingWorkloads(), false, 3000, seed)
+	if err != nil {
+		return nil, err
+	}
+	// One validation record per held-out application; the figure's
+	// "maximum error" is the worst per-application average prediction
+	// error, as in §VI-A2.
+	var valRecords []*sysid.Data
+	for _, w := range ValidationWorkloads() {
+		d, err := core.CollectIdentificationData([]sim.Workload{w}, false, 1500, seed+99991)
+		if err != nil {
+			return nil, err
+		}
+		valRecords = append(valRecords, d)
+	}
+	res := &Fig7Result{}
+	for dim := 2; dim <= maxDim; dim += 2 {
+		model, err := sysid.FitARX(train, sysid.ARXOrders{NA: dim / 2, NB: dim / 2})
+		if err != nil {
+			return nil, fmt.Errorf("dimension %d: %w", dim, err)
+		}
+		point := Fig7Point{Dimension: dim}
+		var fitI, fitP []float64
+		for _, val := range valRecords {
+			pred, err := model.OneStepPredict(val)
+			if err != nil {
+				return nil, err
+			}
+			relErr, err := sysid.MeanRelError(val.Y, pred)
+			if err != nil {
+				return nil, err
+			}
+			if e := 100 * relErr[0]; e > point.MaxErrIPSPct {
+				point.MaxErrIPSPct = e
+			}
+			if e := 100 * relErr[1]; e > point.MaxErrPowerPct {
+				point.MaxErrPowerPct = e
+			}
+			fit, err := sysid.FitPercent(val.Y, pred)
+			if err != nil {
+				return nil, err
+			}
+			fitI = append(fitI, fit[0])
+			fitP = append(fitP, fit[1])
+		}
+		point.FitIPSPct = mean(fitI)
+		point.FitPowerPct = mean(fitP)
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}
+
+// WriteText renders the sweep.
+func (r *Fig7Result) WriteText(w io.Writer) {
+	fmt.Fprintln(w, "Figure 7: maximum prediction error vs. model dimension (validation: h264ref, tonto)")
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Dimension),
+			fmt.Sprintf("%.1f", p.MaxErrIPSPct),
+			fmt.Sprintf("%.1f", p.MaxErrPowerPct),
+			fmt.Sprintf("%.1f", p.FitIPSPct),
+			fmt.Sprintf("%.1f", p.FitPowerPct),
+		})
+	}
+	writeTable(w, []string{"dim", "max err IPS %", "max err P %", "fit IPS %", "fit P %"}, rows)
+}

@@ -1,0 +1,99 @@
+package lqg
+
+import (
+	"errors"
+	"fmt"
+
+	"mimoctl/internal/lti"
+	"mimoctl/internal/mat"
+)
+
+// KalmanFilter is a standalone steady-state Kalman state estimator for a
+// discrete plant x⁺ = A x + B u + w, y = C x + v, with process noise
+// covariance W and measurement noise covariance V. The LQG controller
+// embeds one; this type exposes the estimator alone for applications
+// that monitor a plant without controlling it (e.g. virtual sensors for
+// quantities with no physical counter).
+type KalmanFilter struct {
+	plant *lti.StateSpace
+	lc    *mat.Matrix // filtered-form gain
+	p     *mat.Matrix // steady-state prediction covariance
+	xhat  []float64   // one-step-ahead estimate x̂(t|t-1)
+}
+
+// NewKalmanFilter solves the estimator DARE and returns a ready filter
+// starting from a zero state estimate.
+func NewKalmanFilter(plant *lti.StateSpace, noise Noise) (*KalmanFilter, error) {
+	if plant.D.MaxAbs() != 0 {
+		return nil, errors.New("lqg: Kalman filter requires D = 0")
+	}
+	n, no := plant.Order(), plant.Outputs()
+	if noise.W == nil || noise.W.Rows() != n || noise.W.Cols() != n {
+		return nil, fmt.Errorf("lqg: W must be %dx%d", n, n)
+	}
+	if noise.V == nil || noise.V.Rows() != no || noise.V.Cols() != no {
+		return nil, fmt.Errorf("lqg: V must be %dx%d", no, no)
+	}
+	w := mat.Add(mat.Symmetrize(noise.W), mat.Scale(1e-12+1e-9*noise.W.MaxAbs(), mat.Identity(n)))
+	v := mat.Symmetrize(noise.V)
+	sol, err := lti.SolveDARE(plant.A.T(), plant.C.T(), w, v)
+	if err != nil {
+		return nil, fmt.Errorf("lqg: estimator DARE: %w", err)
+	}
+	s := mat.Add(mat.MulChain(plant.C, sol, plant.C.T()), v)
+	sinv, err := mat.Inverse(s)
+	if err != nil {
+		return nil, fmt.Errorf("lqg: innovation covariance singular: %w", err)
+	}
+	return &KalmanFilter{
+		plant: plant,
+		lc:    mat.MulChain(sol, plant.C.T(), sinv),
+		p:     sol,
+		xhat:  make([]float64, n),
+	}, nil
+}
+
+// Reset clears the estimate (optionally to a known initial state).
+func (k *KalmanFilter) Reset(x0 []float64) error {
+	n := k.plant.Order()
+	if x0 == nil {
+		k.xhat = make([]float64, n)
+		return nil
+	}
+	if len(x0) != n {
+		return fmt.Errorf("lqg: x0 has length %d, want %d", len(x0), n)
+	}
+	k.xhat = append([]float64(nil), x0...)
+	return nil
+}
+
+// Update consumes the measurement y(t) and the input u(t) applied over
+// the next interval, and returns the filtered estimate x̂(t|t).
+func (k *KalmanFilter) Update(y, u []float64) ([]float64, error) {
+	p := k.plant
+	if len(y) != p.Outputs() {
+		return nil, fmt.Errorf("lqg: y has length %d, want %d", len(y), p.Outputs())
+	}
+	if len(u) != p.Inputs() {
+		return nil, fmt.Errorf("lqg: u has length %d, want %d", len(u), p.Inputs())
+	}
+	innov := mat.VecSub(y, mat.MulVec(p.C, k.xhat))
+	xc := mat.VecAdd(k.xhat, mat.MulVec(k.lc, innov))
+	k.xhat = mat.VecAdd(mat.MulVec(p.A, xc), mat.MulVec(p.B, u))
+	return xc, nil
+}
+
+// Predicted returns the current one-step-ahead estimate x̂(t|t-1).
+func (k *KalmanFilter) Predicted() []float64 { return append([]float64(nil), k.xhat...) }
+
+// PredictedOutput returns ŷ(t) = C x̂(t|t-1), the filter's expectation of
+// the next measurement.
+func (k *KalmanFilter) PredictedOutput() []float64 {
+	return mat.MulVec(k.plant.C, k.xhat)
+}
+
+// Gain returns a copy of the steady-state filtered-form gain.
+func (k *KalmanFilter) Gain() *mat.Matrix { return k.lc.Clone() }
+
+// Covariance returns a copy of the steady-state prediction covariance.
+func (k *KalmanFilter) Covariance() *mat.Matrix { return k.p.Clone() }

@@ -1,0 +1,142 @@
+package lqg
+
+import (
+	"math/rand"
+	"testing"
+
+	"mimoctl/internal/lti"
+	"mimoctl/internal/mat"
+)
+
+func TestKalmanFilterConvergesToTrueState(t *testing.T) {
+	plant := testPlant(t)
+	kf, err := NewKalmanFilter(plant, smallNoise(plant.Order(), plant.Outputs()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(70))
+	x := []float64{3, -2} // unknown to the filter
+	u := []float64{0, 0}
+	var xc []float64
+	for k := 0; k < 200; k++ {
+		y := plant.Output(x, u)
+		u = []float64{rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3}
+		xc, err = kf.Update(y, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x = mat.VecAdd(mat.MulVec(plant.A, x), mat.MulVec(plant.B, u))
+	}
+	if d := mat.VecNorm2(mat.VecSub(kf.Predicted(), x)); d > 1e-6 {
+		t.Fatalf("prediction error %v after 200 noise-free steps", d)
+	}
+	if xc == nil {
+		t.Fatal("no filtered estimate")
+	}
+}
+
+func TestKalmanFilterTracksUnderNoise(t *testing.T) {
+	plant := testPlant(t)
+	noiseStd := 0.05
+	noise := Noise{
+		W: mat.Scale(1e-6, mat.Identity(plant.Order())),
+		V: mat.Scale(noiseStd*noiseStd, mat.Identity(plant.Outputs())),
+	}
+	kf, err := NewKalmanFilter(plant, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	x := make([]float64, plant.Order())
+	u := []float64{0.5, -0.2}
+	var filtErr, rawErr float64
+	n := 0
+	for k := 0; k < 2000; k++ {
+		yTrue := plant.Output(x, u)
+		y := append([]float64(nil), yTrue...)
+		for i := range y {
+			y[i] += noiseStd * rng.NormFloat64()
+		}
+		xc, err := kf.Update(y, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k > 200 {
+			// Filtered output vs true output, compared against the raw
+			// noisy measurement error.
+			yf := mat.MulVec(plant.C, xc)
+			filtErr += mat.VecNorm2(mat.VecSub(yf, yTrue))
+			rawErr += mat.VecNorm2(mat.VecSub(y, yTrue))
+			n++
+		}
+		x = mat.VecAdd(mat.MulVec(plant.A, x), mat.MulVec(plant.B, u))
+	}
+	if filtErr/float64(n) >= rawErr/float64(n) {
+		t.Fatalf("filter (%v) did not beat raw measurements (%v)",
+			filtErr/float64(n), rawErr/float64(n))
+	}
+}
+
+func TestKalmanFilterValidation(t *testing.T) {
+	plant := testPlant(t)
+	good := smallNoise(plant.Order(), plant.Outputs())
+	if _, err := NewKalmanFilter(plant, Noise{W: mat.Identity(1), V: good.V}); err == nil {
+		t.Fatal("expected W shape error")
+	}
+	if _, err := NewKalmanFilter(plant, Noise{W: good.W, V: mat.Identity(1)}); err == nil {
+		t.Fatal("expected V shape error")
+	}
+	dPlant := lti.MustStateSpace(plant.A, plant.B, plant.C, mat.Scale(0.1, mat.Identity(2)), plant.Ts)
+	if _, err := NewKalmanFilter(dPlant, good); err == nil {
+		t.Fatal("expected D=0 requirement")
+	}
+	kf, err := NewKalmanFilter(plant, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kf.Update([]float64{1}, []float64{0, 0}); err == nil {
+		t.Fatal("expected y length error")
+	}
+	if _, err := kf.Update([]float64{1, 1}, []float64{0}); err == nil {
+		t.Fatal("expected u length error")
+	}
+	if err := kf.Reset([]float64{1}); err == nil {
+		t.Fatal("expected x0 length error")
+	}
+	if err := kf.Reset([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := kf.Predicted(); got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Reset estimate %v", got)
+	}
+	if err := kf.Reset(nil); err != nil {
+		t.Fatal(err)
+	}
+	if mat.VecNorm2(kf.Predicted()) != 0 {
+		t.Fatal("nil Reset should zero the estimate")
+	}
+	if kf.Gain() == nil || kf.Covariance() == nil {
+		t.Fatal("accessors")
+	}
+	if len(kf.PredictedOutput()) != plant.Outputs() {
+		t.Fatal("PredictedOutput shape")
+	}
+}
+
+func TestKalmanGainMatchesControllerGain(t *testing.T) {
+	// The standalone filter and the LQG controller must compute the same
+	// steady-state gain for the same plant and noise.
+	plant := testPlant(t)
+	noise := smallNoise(plant.Order(), plant.Outputs())
+	kf, err := NewKalmanFilter(plant, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := Design(plant, defaultWeights(), noise, Options{DeltaU: true, Integral: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kf.Gain().ApproxEqual(ctrl.KalmanGain(), 1e-9) {
+		t.Fatalf("gain mismatch:\n%v\nvs\n%v", kf.Gain(), ctrl.KalmanGain())
+	}
+}

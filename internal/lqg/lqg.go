@@ -1,0 +1,483 @@
+// Package lqg designs and runs Linear Quadratic Gaussian servo
+// controllers, the controller family the paper uses for MIMO
+// architectural control (§III-A).
+//
+// The controller combines
+//
+//   - a steady-state Kalman filter that estimates the plant state from
+//     noisy outputs ("the controller begins with a state estimate and
+//     ... refines the estimate"), and
+//   - an LQR state-feedback gain designed on a Δu-augmented plant, so the
+//     quadratic cost penalizes *changes* of each input ("the controller
+//     minimizes input changes to avoid quick jerks from steady state")
+//     as well as output tracking errors, weighted by the designer's Q
+//     and R matrices,
+//
+// plus optional integral action for offset-free tracking under model
+// mismatch, and reference target calculation (x_ss, u_ss) for arbitrary
+// output references.
+//
+// The plant model must have no direct feed-through (D = 0): the
+// controller reads y(t), which was produced by previously applied
+// inputs, and then chooses the next input.
+package lqg
+
+import (
+	"errors"
+	"fmt"
+
+	"mimoctl/internal/lti"
+	"mimoctl/internal/mat"
+)
+
+// Weights holds the designer's cost weights (paper §IV-B2).
+// OutputWeights is the diagonal of the Tracking Error Cost matrix Q (one
+// entry per output); InputWeights is the diagonal of the Control Effort
+// Cost matrix R (one entry per input). Only relative magnitudes matter.
+type Weights struct {
+	OutputWeights []float64
+	InputWeights  []float64
+}
+
+// Options selects the controller structure.
+type Options struct {
+	// DeltaU penalizes input increments rather than absolute input
+	// deviations. This is the paper's formulation; disabling it is
+	// provided for ablation studies.
+	DeltaU bool
+	// Integral adds integrator states on the tracking errors so constant
+	// model mismatch cannot leave a steady-state offset.
+	Integral bool
+	// IntegralWeight scales the cost on the integrator states relative
+	// to the corresponding output's tracking weight: integrator i gets
+	// weight IntegralWeight x OutputWeights[i], so a heavily weighted
+	// output also gets the stronger integrator (default 1e-3).
+	IntegralWeight float64
+	// DisableAntiWindup turns off conditional integration. By default,
+	// when the actuator cannot realize the requested input (quantization
+	// or range saturation, reported via ObserveApplied), any integrator
+	// whose error pushes the inputs further into the unrealizable
+	// direction is frozen for that step, while integrators pulling back
+	// toward the feasible region keep working. Without this, an
+	// unreachable reference winds the integrators up without bound and
+	// the actuators slam into a corner.
+	DisableAntiWindup bool
+	// StateCostEpsilon regularizes the augmented state cost to keep the
+	// DARE well posed (default 1e-9).
+	StateCostEpsilon float64
+}
+
+// Noise describes the identified unpredictability of the plant: W is the
+// process-noise covariance (state dim), V the measurement-noise
+// covariance (output dim). Paper §IV-B3.
+type Noise struct {
+	W, V *mat.Matrix
+}
+
+// Controller is a deployed LQG servo controller. It is a pure
+// discrete-time computation: each Step performs a handful of
+// matrix-vector products, matching the paper's "four floating-point
+// vector-matrix multiplies" runtime cost.
+type Controller struct {
+	plant *lti.StateSpace
+	opts  Options
+
+	// Design results.
+	kx, ku, kz *mat.Matrix // LQR gain partitions
+	lc         *mat.Matrix // Kalman filter gain (filtered form)
+	pRicc      *mat.Matrix // LQR DARE solution (for inspection)
+	pKalm      *mat.Matrix // estimator DARE solution
+	qy, rCost  *mat.Matrix // designer cost matrices (diagonal)
+
+	// Target calculator: [x_ss; u_ss] = targetGain * r.
+	targetGain *mat.Matrix
+
+	// Runtime state.
+	xhat       []float64 // one-step-ahead state estimate
+	uPrev      []float64 // last issued input (deviation coordinates)
+	zInt       []float64 // integrator states
+	lastExcess []float64 // u_requested - u_applied from the last actuation
+	ref        []float64 // current output reference (deviation coordinates)
+	xss        []float64
+	uss        []float64
+}
+
+// Design builds an LQG servo controller for the plant. The plant must
+// have D = 0. Weights must be positive.
+func Design(plant *lti.StateSpace, w Weights, noise Noise, opts Options) (*Controller, error) {
+	n, ni, no := plant.Order(), plant.Inputs(), plant.Outputs()
+	if plant.D.MaxAbs() != 0 {
+		return nil, errors.New("lqg: plant must have no direct feed-through (D = 0)")
+	}
+	if no > ni {
+		// Paper §III: "the number of outputs cannot be more than the
+		// number of inputs".
+		return nil, fmt.Errorf("lqg: %d outputs exceed %d inputs; targets are unreachable", no, ni)
+	}
+	if len(w.OutputWeights) != no {
+		return nil, fmt.Errorf("lqg: %d output weights for %d outputs", len(w.OutputWeights), no)
+	}
+	if len(w.InputWeights) != ni {
+		return nil, fmt.Errorf("lqg: %d input weights for %d inputs", len(w.InputWeights), ni)
+	}
+	for _, v := range w.OutputWeights {
+		if v <= 0 {
+			return nil, errors.New("lqg: output weights must be positive")
+		}
+	}
+	for _, v := range w.InputWeights {
+		if v <= 0 {
+			return nil, errors.New("lqg: input weights must be positive")
+		}
+	}
+	if noise.W == nil || noise.V == nil {
+		return nil, errors.New("lqg: noise covariances are required")
+	}
+	if noise.W.Rows() != n || noise.W.Cols() != n {
+		return nil, fmt.Errorf("lqg: W is %dx%d, want %dx%d", noise.W.Rows(), noise.W.Cols(), n, n)
+	}
+	if noise.V.Rows() != no || noise.V.Cols() != no {
+		return nil, fmt.Errorf("lqg: V is %dx%d, want %dx%d", noise.V.Rows(), noise.V.Cols(), no, no)
+	}
+	if opts.StateCostEpsilon <= 0 {
+		opts.StateCostEpsilon = 1e-9
+	}
+	if opts.Integral && opts.IntegralWeight <= 0 {
+		opts.IntegralWeight = 1e-3
+	}
+
+	c := &Controller{plant: plant, opts: opts}
+	c.qy = mat.Diag(w.OutputWeights...)
+	c.rCost = mat.Diag(w.InputWeights...)
+	if err := c.designLQR(w); err != nil {
+		return nil, err
+	}
+	if err := c.designKalman(noise); err != nil {
+		return nil, err
+	}
+	if err := c.buildTargetCalculator(); err != nil {
+		return nil, err
+	}
+	c.Reset()
+	return c, nil
+}
+
+// designLQR solves the augmented-plant DARE and partitions the gain.
+func (c *Controller) designLQR(w Weights) error {
+	p := c.plant
+	n, ni, no := p.Order(), p.Inputs(), p.Outputs()
+	qy := mat.Diag(w.OutputWeights...)
+	r := mat.Diag(w.InputWeights...)
+
+	// Augmented state: [δx ; δu_prev (if DeltaU) ; z (if Integral)].
+	dim := n
+	uOff, zOff := -1, -1
+	if c.opts.DeltaU {
+		uOff = dim
+		dim += ni
+	}
+	if c.opts.Integral {
+		zOff = dim
+		dim += no
+	}
+	at := mat.New(dim, dim)
+	bt := mat.New(dim, ni)
+	at.SetSubmatrix(0, 0, p.A)
+	if c.opts.DeltaU {
+		// δx⁺ = A δx + B δu_prev + B v ; δu_prev⁺ = δu_prev + v.
+		at.SetSubmatrix(0, uOff, p.B)
+		at.SetSubmatrix(uOff, uOff, mat.Identity(ni))
+		bt.SetSubmatrix(0, 0, p.B)
+		bt.SetSubmatrix(uOff, 0, mat.Identity(ni))
+	} else {
+		// δx⁺ = A δx + B u.
+		bt.SetSubmatrix(0, 0, p.B)
+	}
+	if c.opts.Integral {
+		// z⁺ = z - C δx (deviation coordinates; e = y - r = C δx).
+		at.SetSubmatrix(zOff, 0, mat.Scale(-1, p.C))
+		at.SetSubmatrix(zOff, zOff, mat.Identity(no))
+	}
+	// State cost: Cᵀ Qy C on δx, IntegralWeight on z, ε elsewhere.
+	qt := mat.Scale(c.opts.StateCostEpsilon, mat.Identity(dim))
+	qt.SetSubmatrix(0, 0, mat.Add(qt.Slice(0, n, 0, n), mat.MulChain(p.C.T(), qy, p.C)))
+	if c.opts.Integral {
+		for i := 0; i < no; i++ {
+			qt.Set(zOff+i, zOff+i, qt.At(zOff+i, zOff+i)+c.opts.IntegralWeight*w.OutputWeights[i])
+		}
+	}
+	sol, err := lti.SolveDARE(at, bt, qt, r)
+	if err != nil {
+		return fmt.Errorf("lqg: LQR design: %w", err)
+	}
+	k, err := lti.DAREGain(at, bt, r, sol)
+	if err != nil {
+		return fmt.Errorf("lqg: LQR gain: %w", err)
+	}
+	c.pRicc = sol
+	c.kx = k.Slice(0, ni, 0, n)
+	if c.opts.DeltaU {
+		c.ku = k.Slice(0, ni, uOff, uOff+ni)
+	}
+	if c.opts.Integral {
+		c.kz = k.Slice(0, ni, zOff, zOff+no)
+	}
+	return nil
+}
+
+// designKalman solves the dual DARE for the steady-state filter gain.
+func (c *Controller) designKalman(noise Noise) error {
+	p := c.plant
+	n := p.Order()
+	// Regularize a possibly singular W so the estimator DARE is solvable.
+	w := mat.Add(mat.Symmetrize(noise.W), mat.Scale(1e-12+1e-9*noise.W.MaxAbs(), mat.Identity(n)))
+	v := mat.Symmetrize(noise.V)
+	sol, err := lti.SolveDARE(p.A.T(), p.C.T(), w, v)
+	if err != nil {
+		return fmt.Errorf("lqg: Kalman design: %w", err)
+	}
+	// Filtered-form gain Lc = P Cᵀ (C P Cᵀ + V)⁻¹.
+	s := mat.Add(mat.MulChain(p.C, sol, p.C.T()), v)
+	sinv, err := mat.Inverse(s)
+	if err != nil {
+		return fmt.Errorf("lqg: Kalman innovation covariance singular: %w", err)
+	}
+	c.pKalm = sol
+	c.lc = mat.MulChain(sol, p.C.T(), sinv)
+	return nil
+}
+
+// buildTargetCalculator precomputes the steady-state target map
+// r -> (x_ss, u_ss). The equilibrium constraint x = A x + B u is imposed
+// exactly (x = (I-A)⁻¹ B u), while the output-matching condition
+// C x = r is solved in a weighted least-squares sense:
+//
+//	u_ss = (Gᵀ Q G + R)⁻¹ Gᵀ Q r,   G = C (I-A)⁻¹ B
+//
+// Using the designer's own Q and R keeps u_ss bounded when the DC gain
+// matrix is ill-conditioned — as it is for architectural knobs that move
+// performance and power in nearly the same ratio — and prioritizes the
+// heavily weighted outputs; integral action removes any residual offset.
+func (c *Controller) buildTargetCalculator() error {
+	p := c.plant
+	n, ni, no := p.Order(), p.Inputs(), p.Outputs()
+	ia := mat.Sub(mat.Identity(n), p.A)
+	xOfU, err := mat.Solve(ia, p.B) // (I-A)⁻¹ B, n x ni
+	if err != nil {
+		// Pole at z = 1: fall back to the stacked min-norm solution.
+		m := mat.New(n+no, n+ni)
+		m.SetSubmatrix(0, 0, mat.Sub(p.A, mat.Identity(n)))
+		m.SetSubmatrix(0, n, p.B)
+		m.SetSubmatrix(n, 0, p.C)
+		pinv, perr := mat.PInv(m)
+		if perr != nil {
+			return fmt.Errorf("lqg: target calculator: %w", perr)
+		}
+		c.targetGain = pinv.Slice(0, n+ni, n, n+no)
+		return nil
+	}
+	g := mat.Mul(p.C, xOfU) // DC gain, no x ni
+	gtqg := mat.Add(mat.MulChain(g.T(), c.qy, g), c.rCost)
+	inv, err := mat.Inverse(gtqg)
+	if err != nil {
+		return fmt.Errorf("lqg: target calculator: %w", err)
+	}
+	uOfR := mat.MulChain(inv, g.T(), c.qy) // ni x no
+	xOfR := mat.Mul(xOfU, uOfR)            // n x no
+	c.targetGain = mat.VStack(xOfR, uOfR)
+	return nil
+}
+
+// Reset clears the runtime state (estimate, integrators, previous input)
+// and the reference.
+func (c *Controller) Reset() {
+	p := c.plant
+	c.xhat = make([]float64, p.Order())
+	c.uPrev = make([]float64, p.Inputs())
+	c.zInt = make([]float64, p.Outputs())
+	c.lastExcess = make([]float64, p.Inputs())
+	c.ref = make([]float64, p.Outputs())
+	c.xss = make([]float64, p.Order())
+	c.uss = make([]float64, p.Inputs())
+}
+
+// SetReference updates the output targets (in the model's deviation
+// coordinates) and recomputes the steady-state targets.
+func (c *Controller) SetReference(r []float64) error {
+	if len(r) != c.plant.Outputs() {
+		return fmt.Errorf("lqg: reference has %d entries, want %d", len(r), c.plant.Outputs())
+	}
+	c.ref = append([]float64(nil), r...)
+	t := mat.MulVec(c.targetGain, r)
+	n := c.plant.Order()
+	c.xss = t[:n]
+	c.uss = t[n:]
+	return nil
+}
+
+// Reference returns the current output reference.
+func (c *Controller) Reference() []float64 { return append([]float64(nil), c.ref...) }
+
+// Step consumes the latest measured output y (deviation coordinates) and
+// returns the input to apply for the next interval (deviation
+// coordinates). It performs: Kalman measurement update, integrator
+// update, LQR feedback, and Kalman time update.
+func (c *Controller) Step(y []float64) ([]float64, error) {
+	p := c.plant
+	if len(y) != p.Outputs() {
+		return nil, fmt.Errorf("lqg: output has %d entries, want %d", len(y), p.Outputs())
+	}
+	// Measurement update: x̂ᶜ = x̂ + Lc (y - C x̂).
+	innov := mat.VecSub(y, mat.MulVec(p.C, c.xhat))
+	xc := mat.VecAdd(c.xhat, mat.MulVec(c.lc, innov))
+	// Feedback v = -K x̃ with x̃ = [δx; δu_prev; z] (pre-update z, as in
+	// the design dynamics; the DARE gain fixes all signs).
+	var u []float64
+	dx := mat.VecSub(xc, c.xss)
+	if c.opts.DeltaU {
+		du := mat.VecSub(c.uPrev, c.uss)
+		v := mat.VecScale(-1, mat.MulVec(c.kx, dx))
+		v = mat.VecSub(v, mat.MulVec(c.ku, du))
+		if c.opts.Integral {
+			v = mat.VecSub(v, mat.MulVec(c.kz, c.zInt))
+		}
+		u = mat.VecAdd(c.uPrev, v)
+	} else {
+		u = mat.VecSub(c.uss, mat.MulVec(c.kx, dx))
+		if c.opts.Integral {
+			u = mat.VecSub(u, mat.MulVec(c.kz, c.zInt))
+		}
+	}
+	// Integrator update: z += (r - y), matching z⁺ = z - C δx.
+	// Conditional-integration anti-windup: if the last actuation was
+	// clipped (lastExcess != 0), an error whose integration would push
+	// the inputs further into the unrealizable direction is skipped
+	// this step; errors pulling back toward feasibility still integrate.
+	if c.opts.Integral {
+		saturated := !c.opts.DisableAntiWindup && mat.VecNorm2(c.lastExcess) > 1e-12
+		for i := range c.zInt {
+			e := c.ref[i] - y[i]
+			if saturated && e != 0 {
+				// Input move this error's integrator commands: -Kz[:,i]·e.
+				push := 0.0
+				for j := 0; j < p.Inputs(); j++ {
+					push += -c.kz.At(j, i) * e * c.lastExcess[j]
+				}
+				if push > 0 {
+					continue
+				}
+			}
+			c.zInt[i] += e
+		}
+	}
+	// Time update with the input we are about to apply.
+	c.xhat = mat.VecAdd(mat.MulVec(p.A, xc), mat.MulVec(p.B, u))
+	c.uPrev = append([]float64(nil), u...)
+	return append([]float64(nil), u...), nil
+}
+
+// ObserveApplied informs the controller of the input actually applied
+// when an actuator modified (e.g. quantized or range-limited) the
+// requested input. It re-runs the time update with the corrected input
+// and applies back-calculation anti-windup: the integrators are unwound
+// in proportion to the unrealizable part of the request, so an
+// unreachable reference cannot wind them up without bound and slam the
+// actuators into the wrong corner.
+func (c *Controller) ObserveApplied(u []float64) error {
+	p := c.plant
+	if len(u) != p.Inputs() {
+		return fmt.Errorf("lqg: applied input has %d entries, want %d", len(u), p.Inputs())
+	}
+	// Undo the optimistic time update and redo with the actual input:
+	// x̂ was A x̂ᶜ + B u_req; replace the B u term.
+	diff := mat.VecSub(u, c.uPrev)
+	c.xhat = mat.VecAdd(c.xhat, mat.MulVec(p.B, diff))
+	c.lastExcess = mat.VecScale(-1, diff) // u_requested - u_applied
+	c.uPrev = append([]float64(nil), u...)
+	return nil
+}
+
+// Gains returns copies of the LQR gain partitions (Kx, Ku, Kz). Ku and
+// Kz are nil when the corresponding option is disabled.
+func (c *Controller) Gains() (kx, ku, kz *mat.Matrix) {
+	kx = c.kx.Clone()
+	if c.ku != nil {
+		ku = c.ku.Clone()
+	}
+	if c.kz != nil {
+		kz = c.kz.Clone()
+	}
+	return kx, ku, kz
+}
+
+// KalmanGain returns a copy of the filtered-form estimator gain.
+func (c *Controller) KalmanGain() *mat.Matrix { return c.lc.Clone() }
+
+// Plant returns the design model.
+func (c *Controller) Plant() *lti.StateSpace { return c.plant }
+
+// Options returns the structural options the controller was built with.
+func (c *Controller) Options() Options { return c.opts }
+
+// SteadyStateTargets returns the current (x_ss, u_ss) targets.
+func (c *Controller) SteadyStateTargets() (xss, uss []float64) {
+	return append([]float64(nil), c.xss...), append([]float64(nil), c.uss...)
+}
+
+// AsStateSpace expresses the controller as an LTI system from measured
+// output y to issued input u (deviation coordinates, reference fixed at
+// zero), for closed-loop analysis. The controller states are
+// [x̂ ; u_prev (if DeltaU) ; z (if Integral)].
+func (c *Controller) AsStateSpace() (*lti.StateSpace, error) {
+	p := c.plant
+	n, ni, no := p.Order(), p.Inputs(), p.Outputs()
+	dim := n
+	uOff, zOff := -1, -1
+	if c.opts.DeltaU {
+		uOff = dim
+		dim += ni
+	}
+	if c.opts.Integral {
+		zOff = dim
+		dim += no
+	}
+	// Ec = I - Lc C.
+	ec := mat.Sub(mat.Identity(n), mat.Mul(c.lc, p.C))
+	// u = Cc ξ + Dc y.
+	cc := mat.New(ni, dim)
+	var dc *mat.Matrix
+	kxEc := mat.Mul(c.kx, ec)
+	kxLc := mat.Mul(c.kx, c.lc)
+	// u = -Kx x̂ᶜ [+ (I-Ku) u_prev] - Kz z, with x̂ᶜ = Ec x̂ + Lc y and z
+	// read before its update z⁺ = z - y (reference fixed at zero).
+	cc.SetSubmatrix(0, 0, mat.Scale(-1, kxEc))
+	dc = mat.Scale(-1, kxLc)
+	if c.opts.DeltaU {
+		cc.SetSubmatrix(0, uOff, mat.Sub(mat.Identity(ni), c.ku))
+	}
+	if c.opts.Integral {
+		cc.SetSubmatrix(0, zOff, mat.Scale(-1, c.kz))
+	}
+	// ξ⁺ = Aξ ξ + Bξ y, with the u-dependence substituted.
+	ac := mat.New(dim, dim)
+	bc := mat.New(dim, no)
+	// x̂⁺ = A Ec x̂ + A Lc y + B u.
+	ac.SetSubmatrix(0, 0, mat.Mul(p.A, ec))
+	bc.SetSubmatrix(0, 0, mat.Mul(p.A, c.lc))
+	// Add B*(Cc ξ + Dc y).
+	addInputEffect := func(rows int, gain *mat.Matrix, rowOff int) {
+		ac.SetSubmatrix(rowOff, 0, mat.Add(ac.Slice(rowOff, rowOff+rows, 0, dim), mat.Mul(gain, cc)).Slice(0, rows, 0, dim))
+		bc.SetSubmatrix(rowOff, 0, mat.Add(bc.Slice(rowOff, rowOff+rows, 0, no), mat.Mul(gain, dc)).Slice(0, rows, 0, no))
+	}
+	addInputEffect(n, p.B, 0)
+	if c.opts.DeltaU {
+		// u_prev⁺ = u.
+		addInputEffect(ni, mat.Identity(ni), uOff)
+	}
+	if c.opts.Integral {
+		// z⁺ = z - y.
+		ac.SetSubmatrix(zOff, zOff, mat.Identity(no))
+		bc.SetSubmatrix(zOff, 0, mat.Scale(-1, mat.Identity(no)))
+	}
+	return lti.NewStateSpace(ac, bc, cc, dc, p.Ts)
+}

@@ -1,0 +1,98 @@
+package lti
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"mimoctl/internal/mat"
+)
+
+// FrequencyResponse evaluates the transfer matrix
+// G(z) = C (zI - A)⁻¹ B + D at z = e^(jωTs) for the given angular
+// frequency ω (rad/s).
+func (s *StateSpace) FrequencyResponse(omega float64) (*mat.CMatrix, error) {
+	z := cmplx.Exp(complex(0, omega*s.Ts))
+	return s.EvalTransfer(z)
+}
+
+// EvalTransfer evaluates G(z) at an arbitrary complex point z.
+func (s *StateSpace) EvalTransfer(z complex128) (*mat.CMatrix, error) {
+	n := s.Order()
+	zi := mat.CScale(z, mat.CIdentity(n))
+	m := mat.CSub(zi, mat.CFromReal(s.A))
+	x, err := mat.CSolve(m, mat.CFromReal(s.B))
+	if err != nil {
+		return nil, fmt.Errorf("lti: transfer evaluation at z=%v: %w", z, err)
+	}
+	g := mat.CMul(mat.CFromReal(s.C), x)
+	return mat.CAdd(g, mat.CFromReal(s.D)), nil
+}
+
+// HInfNorm estimates the H∞ norm of a stable discrete system: the peak
+// over frequency of the largest singular value of G(e^(jωTs)). It
+// evaluates nGrid log-spaced points over (0, π/Ts] plus ω = 0, then
+// refines around the peak with golden-section search. nGrid <= 0 selects
+// a default of 256.
+func (s *StateSpace) HInfNorm(nGrid int) (norm, peakOmega float64, err error) {
+	if nGrid <= 0 {
+		nGrid = 256
+	}
+	nyquist := math.Pi / s.Ts
+	eval := func(w float64) (float64, error) {
+		g, err := s.FrequencyResponse(w)
+		if err != nil {
+			return 0, err
+		}
+		return mat.CNorm2(g), nil
+	}
+	best, bestW := 0.0, 0.0
+	// ω = 0 (DC) first; guard against a pole exactly at z = 1.
+	if v, err := eval(0); err == nil && v > best {
+		best, bestW = v, 0
+	}
+	// Log-spaced grid from nyquist*1e-5 to nyquist.
+	lo, hi := math.Log(nyquist*1e-5), math.Log(nyquist)
+	for i := 0; i < nGrid; i++ {
+		w := math.Exp(lo + (hi-lo)*float64(i)/float64(nGrid-1))
+		v, err := eval(w)
+		if err != nil {
+			continue
+		}
+		if v > best {
+			best, bestW = v, w
+		}
+	}
+	if best == 0 {
+		return 0, 0, fmt.Errorf("lti: H∞ estimation failed at every grid point")
+	}
+	// Golden-section refinement around the peak.
+	a := bestW / 2
+	b := bestW * 2
+	if b > nyquist {
+		b = nyquist
+	}
+	if bestW == 0 {
+		a, b = 0, nyquist*1e-4
+	}
+	const phi = 0.6180339887498949
+	for iter := 0; iter < 40 && b-a > 1e-9*nyquist; iter++ {
+		c := b - phi*(b-a)
+		d := a + phi*(b-a)
+		fc, errC := eval(c)
+		fd, errD := eval(d)
+		if errC != nil || errD != nil {
+			break
+		}
+		if fc > fd {
+			b = d
+		} else {
+			a = c
+		}
+	}
+	mid := 0.5 * (a + b)
+	if v, err := eval(mid); err == nil && v > best {
+		best, bestW = v, mid
+	}
+	return best, bestW, nil
+}

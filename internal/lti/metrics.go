@@ -1,0 +1,114 @@
+package lti
+
+import (
+	"errors"
+	"math"
+
+	"mimoctl/internal/mat"
+)
+
+// Step-response metrics: the quantities behind the paper's "ripply vs.
+// sluggish" discussion (Fig. 4) and its epochs-to-steady-state plots
+// (Figs. 6 and 8), computed exactly on an LTI model instead of
+// empirically on the plant.
+
+// StepMetrics summarizes a single-channel step response.
+type StepMetrics struct {
+	// FinalValue is the DC value the response converges to.
+	FinalValue float64
+	// RiseSamples is the 10%-90% rise time in samples (-1 if the
+	// response never crosses those levels within the horizon).
+	RiseSamples int
+	// SettlingSamples is the first sample after which the response
+	// stays within the band (fraction of |FinalValue|) for the rest of
+	// the horizon (-1 if it never settles).
+	SettlingSamples int
+	// OvershootPct is the peak excursion beyond the final value, in
+	// percent of |FinalValue| (0 for monotone responses).
+	OvershootPct float64
+}
+
+// StepResponseMetrics computes metrics for the response of output `out`
+// to a unit step on input `in`, over `horizon` samples with the given
+// settling band (e.g. 0.02 for 2%).
+func (s *StateSpace) StepResponseMetrics(in, out, horizon int, band float64) (StepMetrics, error) {
+	if in < 0 || in >= s.Inputs() || out < 0 || out >= s.Outputs() {
+		return StepMetrics{}, errors.New("lti: channel index out of range")
+	}
+	if horizon < 2 {
+		return StepMetrics{}, errors.New("lti: horizon too short")
+	}
+	if band <= 0 {
+		band = 0.02
+	}
+	y, err := s.StepResponse(in, horizon)
+	if err != nil {
+		return StepMetrics{}, err
+	}
+	dc, err := s.DCGain()
+	if err != nil {
+		return StepMetrics{}, err
+	}
+	final := dc.At(out, in)
+	m := StepMetrics{FinalValue: final, RiseSamples: -1, SettlingSamples: -1}
+	if final == 0 {
+		return m, nil
+	}
+	sign := 1.0
+	if final < 0 {
+		sign = -1
+	}
+	// Rise time: 10% to 90% of the final value (signed).
+	t10, t90 := -1, -1
+	for k := 0; k < horizon; k++ {
+		v := y.At(k, out) * sign
+		if t10 < 0 && v >= 0.1*final*sign {
+			t10 = k
+		}
+		if t90 < 0 && v >= 0.9*final*sign {
+			t90 = k
+			break
+		}
+	}
+	if t10 >= 0 && t90 >= 0 {
+		m.RiseSamples = t90 - t10
+	}
+	// Settling: last sample outside the band.
+	tol := band * math.Abs(final)
+	last := -1
+	for k := 0; k < horizon; k++ {
+		if math.Abs(y.At(k, out)-final) > tol {
+			last = k
+		}
+	}
+	m.SettlingSamples = last + 1
+	if last == horizon-1 {
+		m.SettlingSamples = -1 // never settled within the horizon
+	}
+	// Overshoot.
+	peak := 0.0
+	for k := 0; k < horizon; k++ {
+		if ex := (y.At(k, out) - final) * sign; ex > peak {
+			peak = ex
+		}
+	}
+	m.OvershootPct = 100 * peak / math.Abs(final)
+	return m, nil
+}
+
+// H2Norm returns the H2 norm of a stable system:
+// sqrt(trace(C Wc Cᵀ + D Dᵀ)) — the RMS output under white unit-variance
+// input, the natural measure of how much sensor noise a closed loop
+// passes through.
+func (s *StateSpace) H2Norm() (float64, error) {
+	wc, _, err := s.Gramians()
+	if err != nil {
+		return 0, err
+	}
+	m := mat.Add(mat.MulChain(s.C, wc, s.C.T()), mat.Mul(s.D, s.D.T()))
+	tr := m.Trace()
+	if tr < 0 {
+		tr = 0
+	}
+	return math.Sqrt(tr), nil
+}

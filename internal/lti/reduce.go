@@ -1,0 +1,130 @@
+package lti
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mimoctl/internal/mat"
+)
+
+// Model order reduction by balanced truncation. The paper trades model
+// dimension against accuracy by re-fitting ARX models of different
+// orders (Fig. 7); balanced truncation offers the complementary,
+// control-theoretic route: compute the Hankel singular values of a
+// high-order model and truncate the weakly coupled states.
+
+// Gramians returns the controllability and observability Gramians of a
+// stable discrete system, solving the two Stein equations
+//
+//	A Wc Aᵀ - Wc + B Bᵀ = 0,   Aᵀ Wo A - Wo + Cᵀ C = 0.
+func (s *StateSpace) Gramians() (wc, wo *mat.Matrix, err error) {
+	stable, err := s.IsStable(0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !stable {
+		return nil, nil, errors.New("lti: Gramians require a stable system")
+	}
+	wc, err = SolveDiscreteLyapunov(s.A, mat.Mul(s.B, s.B.T()))
+	if err != nil {
+		return nil, nil, fmt.Errorf("lti: controllability Gramian: %w", err)
+	}
+	wo, err = SolveDiscreteLyapunov(s.A.T(), mat.Mul(s.C.T(), s.C))
+	if err != nil {
+		return nil, nil, fmt.Errorf("lti: observability Gramian: %w", err)
+	}
+	return wc, wo, nil
+}
+
+// HankelSingularValues returns the Hankel singular values of a stable
+// system in decreasing order: the square roots of the eigenvalues of
+// Wc·Wo. States with small Hankel values contribute little to the
+// input-output behaviour.
+func (s *StateSpace) HankelSingularValues() ([]float64, error) {
+	wc, wo, err := s.Gramians()
+	if err != nil {
+		return nil, err
+	}
+	eig, err := mat.Eigenvalues(mat.Mul(wc, wo))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(eig))
+	for i, v := range eig {
+		re := real(v)
+		if re < 0 {
+			re = 0 // numerical noise on a PSD product
+		}
+		out[i] = math.Sqrt(re)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out, nil
+}
+
+// BalancedTruncation reduces a stable system to order r by balancing
+// the Gramians (square-root method) and truncating the states with the
+// smallest Hankel singular values. It returns the reduced system and
+// the full set of Hankel singular values (the truncation error is
+// bounded by twice the sum of the discarded ones).
+func BalancedTruncation(s *StateSpace, r int) (*StateSpace, []float64, error) {
+	n := s.Order()
+	if r < 1 || r > n {
+		return nil, nil, fmt.Errorf("lti: reduced order %d out of range [1,%d]", r, n)
+	}
+	wc, wo, err := s.Gramians()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Square-root method: Wc = L Lᵀ (Cholesky, with regularization for
+	// semi-definite Gramians), SVD of Lᵀ Wo L gives the balancing
+	// transform.
+	reg := 1e-12 * (1 + wc.MaxAbs())
+	lc, err := mat.FactorCholesky(mat.Add(mat.Symmetrize(wc), mat.Scale(reg, mat.Identity(n))))
+	if err != nil {
+		return nil, nil, fmt.Errorf("lti: Gramian factorization: %w", err)
+	}
+	l := lc.L()
+	m := mat.MulChain(l.T(), mat.Symmetrize(wo), l)
+	svd, err := mat.FactorSVD(mat.Symmetrize(m))
+	if err != nil {
+		return nil, nil, err
+	}
+	hsv := make([]float64, n)
+	for i, v := range svd.S {
+		hsv[i] = math.Sqrt(math.Max(v, 0))
+	}
+	// Balancing transform T = L U Σ^(-1/4)... use the standard
+	// square-root formulas: T = L·U·S^(-1/4), Tinv = S^(-1/4)·Uᵀ·Lᵀ·Wo
+	// ... in practice build from the first r singular vectors:
+	//   T_r = L U_r diag(hsv_r^(-1/2)),  (left inverse via balancing)
+	ur := svd.U.Slice(0, n, 0, r)
+	sInvSqrt := mat.New(r, r)
+	for i := 0; i < r; i++ {
+		h := hsv[i]
+		if h <= 0 {
+			return nil, nil, errors.New("lti: system is not minimal enough to reduce to this order")
+		}
+		sInvSqrt.Set(i, i, 1/math.Sqrt(h))
+	}
+	tr := mat.MulChain(l, ur, sInvSqrt)         // n x r
+	tl := mat.MulChain(sInvSqrt, ur.T(), l.T()) // r x n (left factor)
+	tlInv := mat.Mul(tl, mat.Symmetrize(wo))    // r x n: tlInv * tr = Σ_r^... verify below
+	// Normalize so that tlInv * tr = I_r.
+	gram := mat.Mul(tlInv, tr)
+	ginv, err := mat.Inverse(gram)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lti: balancing transform singular: %w", err)
+	}
+	tlInv = mat.Mul(ginv, tlInv)
+
+	ar := mat.MulChain(tlInv, s.A, tr)
+	br := mat.Mul(tlInv, s.B)
+	cr := mat.Mul(s.C, tr)
+	red, err := NewStateSpace(ar, br, cr, s.D.Clone(), s.Ts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return red, hsv, nil
+}

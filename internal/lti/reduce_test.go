@@ -1,0 +1,214 @@
+package lti
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mimoctl/internal/mat"
+)
+
+// wellSeparatedSystem returns a stable system with one dominant mode and
+// one weakly coupled fast mode — ideal for truncation.
+func wellSeparatedSystem() *StateSpace {
+	a := mat.Diag(0.9, 0.1)
+	b := mat.FromRows([][]float64{{1}, {0.01}})
+	c := mat.FromRows([][]float64{{1, 0.01}})
+	return MustStateSpace(a, b, c, nil, 1)
+}
+
+func TestGramiansSatisfyLyapunov(t *testing.T) {
+	s := wellSeparatedSystem()
+	wc, wo, err := s.Gramians()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A Wc Aᵀ - Wc + B Bᵀ = 0.
+	res := mat.Add(mat.Sub(mat.MulChain(s.A, wc, s.A.T()), wc), mat.Mul(s.B, s.B.T()))
+	if res.MaxAbs() > 1e-10 {
+		t.Fatalf("controllability Gramian residual %v", res.MaxAbs())
+	}
+	res = mat.Add(mat.Sub(mat.MulChain(s.A.T(), wo, s.A), wo), mat.Mul(s.C.T(), s.C))
+	if res.MaxAbs() > 1e-10 {
+		t.Fatalf("observability Gramian residual %v", res.MaxAbs())
+	}
+}
+
+func TestGramiansRejectUnstable(t *testing.T) {
+	s := MustStateSpace(mat.Diag(1.1), mat.FromRows([][]float64{{1}}),
+		mat.FromRows([][]float64{{1}}), nil, 1)
+	if _, _, err := s.Gramians(); err == nil {
+		t.Fatal("expected instability error")
+	}
+}
+
+func TestHankelSingularValuesOrdered(t *testing.T) {
+	s := wellSeparatedSystem()
+	hsv, err := s.HankelSingularValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hsv) != 2 {
+		t.Fatalf("%d values", len(hsv))
+	}
+	if hsv[0] < hsv[1] {
+		t.Fatal("not sorted descending")
+	}
+	// The weak mode's Hankel value must be tiny relative to the dominant.
+	if hsv[1] > 0.01*hsv[0] {
+		t.Fatalf("expected well-separated values, got %v", hsv)
+	}
+}
+
+func TestBalancedTruncationPreservesDominantBehaviour(t *testing.T) {
+	s := wellSeparatedSystem()
+	red, hsv, err := BalancedTruncation(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Order() != 1 || len(hsv) != 2 {
+		t.Fatalf("reduced order %d, %d hsv", red.Order(), len(hsv))
+	}
+	// DC gains must agree closely.
+	g0, err := s.DCGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := red.DCGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g0.At(0, 0)-g1.At(0, 0)) > 0.02*math.Abs(g0.At(0, 0)) {
+		t.Fatalf("DC gain %v vs reduced %v", g0.At(0, 0), g1.At(0, 0))
+	}
+	// Step responses must agree within the 2x tail-sum bound.
+	y0, err := s.StepResponse(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y1, err := red.StepResponse(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 2*hsv[1] + 1e-6
+	for k := 0; k < 50; k++ {
+		if d := math.Abs(y0.At(k, 0) - y1.At(k, 0)); d > 5*bound {
+			t.Fatalf("step mismatch %v at k=%d exceeds bound %v", d, k, bound)
+		}
+	}
+}
+
+func TestBalancedTruncationRandomStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(3)
+		a := randStable(rng, n)
+		b := mat.New(n, 2)
+		c := mat.New(1, n)
+		for i := 0; i < n; i++ {
+			b.Set(i, 0, rng.NormFloat64())
+			b.Set(i, 1, rng.NormFloat64())
+			c.Set(0, i, rng.NormFloat64())
+		}
+		s := MustStateSpace(a, b, c, nil, 1)
+		red, hsv, err := BalancedTruncation(s, n-1)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		stable, err := red.IsStable(0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !stable {
+			t.Fatalf("trial %d: reduced system unstable", trial)
+		}
+		// H∞ error vs the 2x tail-sum bound (allow slack for the
+		// frequency gridding).
+		diff, err := Append(s, red)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = diff
+		tail := 2 * hsv[n-1]
+		// Compare step responses as a cheap proxy for the error bound.
+		y0, _ := s.StepResponse(0, 60)
+		y1, _ := red.StepResponse(0, 60)
+		var worst float64
+		for k := 0; k < 60; k++ {
+			if d := math.Abs(y0.At(k, 0) - y1.At(k, 0)); d > worst {
+				worst = d
+			}
+		}
+		if worst > 10*tail+1e-6 {
+			t.Fatalf("trial %d: step error %v far exceeds bound %v", trial, worst, tail)
+		}
+	}
+}
+
+func TestBalancedTruncationValidation(t *testing.T) {
+	s := wellSeparatedSystem()
+	if _, _, err := BalancedTruncation(s, 0); err == nil {
+		t.Fatal("expected order error")
+	}
+	if _, _, err := BalancedTruncation(s, 3); err == nil {
+		t.Fatal("expected order error")
+	}
+}
+
+func TestStepResponseMetrics(t *testing.T) {
+	// First-order lag: no overshoot, known settling.
+	s := MustStateSpace(mat.Diag(0.8), mat.FromRows([][]float64{{1}}),
+		mat.FromRows([][]float64{{0.2}}), nil, 1)
+	m, err := s.StepResponseMetrics(0, 0, 100, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.FinalValue-1) > 1e-9 {
+		t.Fatalf("final %v", m.FinalValue)
+	}
+	if m.OvershootPct > 0.01 {
+		t.Fatalf("first-order lag overshoot %v", m.OvershootPct)
+	}
+	// Settling: 0.8^k < 0.02 → k ≈ 18.
+	if m.SettlingSamples < 10 || m.SettlingSamples > 25 {
+		t.Fatalf("settling %d", m.SettlingSamples)
+	}
+	if m.RiseSamples < 5 || m.RiseSamples > 15 {
+		t.Fatalf("rise %d", m.RiseSamples)
+	}
+
+	// Underdamped second-order system must report overshoot.
+	a := mat.FromRows([][]float64{{1.6, -0.8}, {1, 0}})
+	b := mat.FromRows([][]float64{{1}, {0}})
+	c := mat.FromRows([][]float64{{0, 0.2}})
+	osc := MustStateSpace(a, b, c, nil, 1)
+	m2, err := osc.StepResponseMetrics(0, 0, 200, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.OvershootPct < 5 {
+		t.Fatalf("underdamped system overshoot %v", m2.OvershootPct)
+	}
+	// Validation errors.
+	if _, err := s.StepResponseMetrics(1, 0, 100, 0.02); err == nil {
+		t.Fatal("expected channel error")
+	}
+	if _, err := s.StepResponseMetrics(0, 0, 1, 0.02); err == nil {
+		t.Fatal("expected horizon error")
+	}
+}
+
+func TestH2Norm(t *testing.T) {
+	// Scalar system x+ = a x + u, y = c x: H2² = c²/(1-a²).
+	a, c := 0.5, 2.0
+	s := MustStateSpace(mat.Diag(a), mat.FromRows([][]float64{{1}}),
+		mat.FromRows([][]float64{{c}}), nil, 1)
+	want := math.Sqrt(c * c / (1 - a*a))
+	got, err := s.H2Norm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("H2 = %v, want %v", got, want)
+	}
+}

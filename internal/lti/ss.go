@@ -1,0 +1,217 @@
+// Package lti implements discrete-time linear time-invariant (LTI)
+// state-space systems and the matrix equations used in controller design:
+// simulation, poles and stability, frequency response, controllability and
+// observability, discrete Lyapunov equations, and the discrete algebraic
+// Riccati equation (DARE).
+//
+// A system is
+//
+//	x(t+1) = A x(t) + B u(t)
+//	y(t)   = C x(t) + D u(t)
+//
+// as in equations (1)-(2) of Pothukuchi et al., ISCA 2016.
+package lti
+
+import (
+	"errors"
+	"fmt"
+
+	"mimoctl/internal/mat"
+)
+
+// StateSpace is a discrete-time LTI system. Ts is the sample period in
+// seconds (purely informational; the dynamics are per-step).
+type StateSpace struct {
+	A, B, C, D *mat.Matrix
+	Ts         float64
+}
+
+// NewStateSpace validates matrix dimensions and returns the system.
+// D may be nil, in which case a zero feed-through matrix is used.
+func NewStateSpace(a, b, c, d *mat.Matrix, ts float64) (*StateSpace, error) {
+	if !a.IsSquare() {
+		return nil, fmt.Errorf("lti: A must be square, got %dx%d", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	if b.Rows() != n {
+		return nil, fmt.Errorf("lti: B has %d rows, want %d", b.Rows(), n)
+	}
+	if c.Cols() != n {
+		return nil, fmt.Errorf("lti: C has %d cols, want %d", c.Cols(), n)
+	}
+	if d == nil {
+		d = mat.New(c.Rows(), b.Cols())
+	}
+	if d.Rows() != c.Rows() || d.Cols() != b.Cols() {
+		return nil, fmt.Errorf("lti: D is %dx%d, want %dx%d", d.Rows(), d.Cols(), c.Rows(), b.Cols())
+	}
+	if ts <= 0 {
+		return nil, errors.New("lti: sample period must be positive")
+	}
+	return &StateSpace{A: a, B: b, C: c, D: d, Ts: ts}, nil
+}
+
+// MustStateSpace is NewStateSpace that panics on error; for literals in
+// tests and examples.
+func MustStateSpace(a, b, c, d *mat.Matrix, ts float64) *StateSpace {
+	ss, err := NewStateSpace(a, b, c, d, ts)
+	if err != nil {
+		panic(err)
+	}
+	return ss
+}
+
+// Order returns the state dimension N.
+func (s *StateSpace) Order() int { return s.A.Rows() }
+
+// Inputs returns the input dimension I.
+func (s *StateSpace) Inputs() int { return s.B.Cols() }
+
+// Outputs returns the output dimension O.
+func (s *StateSpace) Outputs() int { return s.C.Rows() }
+
+// Step advances the state one sample: returns x(t+1) and y(t).
+func (s *StateSpace) Step(x, u []float64) (xNext, y []float64) {
+	xNext = mat.VecAdd(mat.MulVec(s.A, x), mat.MulVec(s.B, u))
+	y = mat.VecAdd(mat.MulVec(s.C, x), mat.MulVec(s.D, u))
+	return xNext, y
+}
+
+// Output returns y(t) = C x(t) + D u(t) without advancing the state.
+func (s *StateSpace) Output(x, u []float64) []float64 {
+	return mat.VecAdd(mat.MulVec(s.C, x), mat.MulVec(s.D, u))
+}
+
+// Simulate runs the system from initial state x0 over the input sequence
+// u (one row per sample, Inputs() columns) and returns the output sequence
+// (one row per sample, Outputs() columns).
+func (s *StateSpace) Simulate(x0 []float64, u *mat.Matrix) (*mat.Matrix, error) {
+	if u.Cols() != s.Inputs() {
+		return nil, fmt.Errorf("lti: input sequence has %d cols, want %d", u.Cols(), s.Inputs())
+	}
+	if len(x0) != s.Order() {
+		return nil, fmt.Errorf("lti: x0 has length %d, want %d", len(x0), s.Order())
+	}
+	t := u.Rows()
+	y := mat.New(t, s.Outputs())
+	x := append([]float64(nil), x0...)
+	for k := 0; k < t; k++ {
+		uk := u.Row(k)
+		y.SetRow(k, s.Output(x, uk))
+		x = mat.VecAdd(mat.MulVec(s.A, x), mat.MulVec(s.B, uk))
+	}
+	return y, nil
+}
+
+// Poles returns the eigenvalues of A.
+func (s *StateSpace) Poles() ([]complex128, error) {
+	return mat.Eigenvalues(s.A)
+}
+
+// IsStable reports whether every pole lies strictly inside the unit
+// circle (Schur stability), with margin eps.
+func (s *StateSpace) IsStable(eps float64) (bool, error) {
+	r, err := mat.SpectralRadius(s.A)
+	if err != nil {
+		return false, err
+	}
+	return r < 1-eps, nil
+}
+
+// DCGain returns the steady-state gain matrix C (I-A)⁻¹ B + D, the output
+// reached for a unit constant input. Returns an error if (I-A) is
+// singular (a pole at z = 1).
+func (s *StateSpace) DCGain() (*mat.Matrix, error) {
+	n := s.Order()
+	ia := mat.Sub(mat.Identity(n), s.A)
+	x, err := mat.Solve(ia, s.B)
+	if err != nil {
+		return nil, fmt.Errorf("lti: DC gain undefined (pole at z=1): %w", err)
+	}
+	return mat.Add(mat.Mul(s.C, x), s.D), nil
+}
+
+// StepResponse simulates the response to a unit step on input j for
+// nSteps samples from zero initial state.
+func (s *StateSpace) StepResponse(j, nSteps int) (*mat.Matrix, error) {
+	if j < 0 || j >= s.Inputs() {
+		return nil, fmt.Errorf("lti: input index %d out of range", j)
+	}
+	u := mat.New(nSteps, s.Inputs())
+	for k := 0; k < nSteps; k++ {
+		u.Set(k, j, 1)
+	}
+	return s.Simulate(make([]float64, s.Order()), u)
+}
+
+// ControllabilityMatrix returns [B AB A²B ... Aⁿ⁻¹B].
+func (s *StateSpace) ControllabilityMatrix() *mat.Matrix {
+	n := s.Order()
+	blocks := make([]*mat.Matrix, n)
+	cur := s.B.Clone()
+	for i := 0; i < n; i++ {
+		blocks[i] = cur
+		cur = mat.Mul(s.A, cur)
+	}
+	return mat.HStack(blocks...)
+}
+
+// ObservabilityMatrix returns [C; CA; CA²; ...; CAⁿ⁻¹].
+func (s *StateSpace) ObservabilityMatrix() *mat.Matrix {
+	n := s.Order()
+	blocks := make([]*mat.Matrix, n)
+	cur := s.C.Clone()
+	for i := 0; i < n; i++ {
+		blocks[i] = cur
+		cur = mat.Mul(cur, s.A)
+	}
+	return mat.VStack(blocks...)
+}
+
+// IsControllable reports whether (A, B) is controllable (controllability
+// matrix has full row rank).
+func (s *StateSpace) IsControllable() bool {
+	cm := s.ControllabilityMatrix()
+	svd, err := mat.FactorSVD(cm)
+	if err != nil {
+		return false
+	}
+	return svd.Rank(0) == s.Order()
+}
+
+// IsObservable reports whether (A, C) is observable.
+func (s *StateSpace) IsObservable() bool {
+	om := s.ObservabilityMatrix()
+	svd, err := mat.FactorSVD(om)
+	if err != nil {
+		return false
+	}
+	return svd.Rank(0) == s.Order()
+}
+
+// Series returns the series interconnection g2∘g1: u -> g1 -> g2 -> y.
+// The output dimension of g1 must equal the input dimension of g2.
+func Series(g1, g2 *StateSpace) (*StateSpace, error) {
+	if g1.Outputs() != g2.Inputs() {
+		return nil, fmt.Errorf("lti: series mismatch: %d outputs vs %d inputs", g1.Outputs(), g2.Inputs())
+	}
+	n1, n2 := g1.Order(), g2.Order()
+	a := mat.New(n1+n2, n1+n2)
+	a.SetSubmatrix(0, 0, g1.A)
+	a.SetSubmatrix(n1, 0, mat.Mul(g2.B, g1.C))
+	a.SetSubmatrix(n1, n1, g2.A)
+	b := mat.VStack(g1.B, mat.Mul(g2.B, g1.D))
+	c := mat.HStack(mat.Mul(g2.D, g1.C), g2.C)
+	d := mat.Mul(g2.D, g1.D)
+	return NewStateSpace(a, b, c, d, g1.Ts)
+}
+
+// Append stacks two systems diagonally: inputs and outputs are
+// concatenated, with no interconnection.
+func Append(g1, g2 *StateSpace) (*StateSpace, error) {
+	a := mat.BlockDiag(g1.A, g2.A)
+	b := mat.BlockDiag(g1.B, g2.B)
+	c := mat.BlockDiag(g1.C, g2.C)
+	d := mat.BlockDiag(g1.D, g2.D)
+	return NewStateSpace(a, b, c, d, g1.Ts)
+}

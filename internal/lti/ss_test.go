@@ -1,0 +1,267 @@
+package lti
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mimoctl/internal/mat"
+)
+
+// twoStateSystem returns a simple stable 2-state, 1-in, 1-out system.
+func twoStateSystem(t *testing.T) *StateSpace {
+	t.Helper()
+	a := mat.FromRows([][]float64{{0.5, 0.1}, {0, 0.3}})
+	b := mat.FromRows([][]float64{{1}, {0.5}})
+	c := mat.FromRows([][]float64{{1, 0}})
+	ss, err := NewStateSpace(a, b, c, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ss
+}
+
+func TestNewStateSpaceValidation(t *testing.T) {
+	a := mat.Identity(2)
+	b := mat.New(2, 1)
+	c := mat.New(1, 2)
+	cases := []struct {
+		name    string
+		a, b, c *mat.Matrix
+		d       *mat.Matrix
+		ts      float64
+	}{
+		{"non-square A", mat.New(2, 3), b, c, nil, 1},
+		{"B rows", a, mat.New(3, 1), c, nil, 1},
+		{"C cols", a, b, mat.New(1, 3), nil, 1},
+		{"D shape", a, b, c, mat.New(2, 2), 1},
+		{"bad Ts", a, b, c, nil, 0},
+	}
+	for _, tc := range cases {
+		if _, err := NewStateSpace(tc.a, tc.b, tc.c, tc.d, tc.ts); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	ss, err := NewStateSpace(a, b, c, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.D.Rows() != 1 || ss.D.Cols() != 1 {
+		t.Fatalf("default D shape %dx%d", ss.D.Rows(), ss.D.Cols())
+	}
+	if ss.Order() != 2 || ss.Inputs() != 1 || ss.Outputs() != 1 {
+		t.Fatal("dimension accessors wrong")
+	}
+}
+
+func TestSimulateMatchesManualStep(t *testing.T) {
+	ss := twoStateSystem(t)
+	u := mat.FromRows([][]float64{{1}, {1}, {0}, {-1}})
+	y, err := ss.Simulate([]float64{0, 0}, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0, 0}
+	for k := 0; k < u.Rows(); k++ {
+		var yk []float64
+		xNext, yk := ss.Step(x, u.Row(k))
+		if math.Abs(y.At(k, 0)-yk[0]) > 1e-15 {
+			t.Fatalf("step %d: Simulate %v vs Step %v", k, y.At(k, 0), yk[0])
+		}
+		x = xNext
+	}
+}
+
+func TestDCGain(t *testing.T) {
+	// Scalar system x+ = 0.5x + u, y = x: DC gain 1/(1-0.5) = 2.
+	ss := MustStateSpace(
+		mat.FromRows([][]float64{{0.5}}),
+		mat.FromRows([][]float64{{1}}),
+		mat.FromRows([][]float64{{1}}),
+		nil, 1)
+	g, err := ss.DCGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.At(0, 0)-2) > 1e-12 {
+		t.Fatalf("DCGain = %v, want 2", g.At(0, 0))
+	}
+}
+
+func TestDCGainMatchesLongStepResponse(t *testing.T) {
+	ss := twoStateSystem(t)
+	g, err := ss.DCGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := ss.StepResponse(0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := y.At(199, 0)
+	if math.Abs(final-g.At(0, 0)) > 1e-9 {
+		t.Fatalf("step response final %v, DC gain %v", final, g.At(0, 0))
+	}
+}
+
+func TestPolesAndStability(t *testing.T) {
+	ss := twoStateSystem(t)
+	poles, err := ss.Poles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poles) != 2 {
+		t.Fatalf("got %d poles", len(poles))
+	}
+	// Triangular A: poles are 0.5 and 0.3.
+	mags := []float64{real(poles[0]), real(poles[1])}
+	if math.Abs(mags[0]-0.5) > 1e-10 || math.Abs(mags[1]-0.3) > 1e-10 {
+		t.Fatalf("poles = %v", poles)
+	}
+	stable, err := ss.IsStable(0)
+	if err != nil || !stable {
+		t.Fatalf("system should be stable: %v %v", stable, err)
+	}
+	unstable := MustStateSpace(mat.Diag(1.1), mat.FromRows([][]float64{{1}}),
+		mat.FromRows([][]float64{{1}}), nil, 1)
+	st, err := unstable.IsStable(0)
+	if err != nil || st {
+		t.Fatal("1.1-pole system should be unstable")
+	}
+}
+
+func TestControllabilityObservability(t *testing.T) {
+	ss := twoStateSystem(t)
+	if !ss.IsControllable() {
+		t.Fatal("expected controllable")
+	}
+	if !ss.IsObservable() {
+		t.Fatal("expected observable")
+	}
+	// Uncontrollable: B in the span of one mode only, A diagonal.
+	un := MustStateSpace(mat.Diag(0.5, 0.3),
+		mat.FromRows([][]float64{{1}, {0}}),
+		mat.FromRows([][]float64{{1, 1}}), nil, 1)
+	if un.IsControllable() {
+		t.Fatal("expected uncontrollable")
+	}
+	// Unobservable: C sees only one mode.
+	uo := MustStateSpace(mat.Diag(0.5, 0.3),
+		mat.FromRows([][]float64{{1}, {1}}),
+		mat.FromRows([][]float64{{1, 0}}), nil, 1)
+	if uo.IsObservable() {
+		t.Fatal("expected unobservable")
+	}
+}
+
+func TestSeriesMatchesSequentialSimulation(t *testing.T) {
+	g1 := twoStateSystem(t)
+	g2 := MustStateSpace(mat.Diag(0.2), mat.FromRows([][]float64{{1}}),
+		mat.FromRows([][]float64{{2}}), mat.FromRows([][]float64{{0.1}}), 1)
+	ser, err := Series(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	u := mat.New(50, 1)
+	for k := 0; k < 50; k++ {
+		u.Set(k, 0, rng.NormFloat64())
+	}
+	y1, err := g1.Simulate([]float64{0, 0}, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := g2.Simulate([]float64{0}, y1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys, err := ser.Simulate(make([]float64, ser.Order()), u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ys.ApproxEqual(y2, 1e-10) {
+		t.Fatal("series simulation mismatch")
+	}
+}
+
+func TestAppendDimensions(t *testing.T) {
+	g1 := twoStateSystem(t)
+	g2 := twoStateSystem(t)
+	ap, err := Append(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.Inputs() != 2 || ap.Outputs() != 2 || ap.Order() != 4 {
+		t.Fatalf("Append dims: %d in %d out %d states", ap.Inputs(), ap.Outputs(), ap.Order())
+	}
+}
+
+func TestFrequencyResponseDC(t *testing.T) {
+	ss := twoStateSystem(t)
+	g0, err := ss.FrequencyResponse(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := ss.DCGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(g0.At(0, 0))-dc.At(0, 0)) > 1e-12 || math.Abs(imag(g0.At(0, 0))) > 1e-12 {
+		t.Fatalf("G(1) = %v, DC gain %v", g0.At(0, 0), dc.At(0, 0))
+	}
+}
+
+func TestHInfNormFirstOrder(t *testing.T) {
+	// y = u through x+ = a x + u, y = (1-a) x: H∞ norm = 1 at DC for
+	// a in (0,1) since |G(e^jw)| = (1-a)/|e^jw - a| peaks at w=0.
+	ss := MustStateSpace(mat.Diag(0.8), mat.FromRows([][]float64{{1}}),
+		mat.FromRows([][]float64{{0.2}}), nil, 0.01)
+	norm, w, err := ss.HInfNorm(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(norm-1) > 1e-6 {
+		t.Fatalf("H∞ = %v, want 1 (peak at ω=%v)", norm, w)
+	}
+}
+
+func TestHInfNormResonantPeak(t *testing.T) {
+	// A lightly damped 2nd-order discrete system must have H∞ > |DC gain|.
+	wn, zeta, ts := 1.0, 0.05, 0.1
+	// Discretized via the standard difference approximation for tests.
+	a := mat.FromRows([][]float64{
+		{1, ts},
+		{-wn * wn * ts, 1 - 2*zeta*wn*ts},
+	})
+	b := mat.FromRows([][]float64{{0}, {ts}})
+	c := mat.FromRows([][]float64{{wn * wn, 0}})
+	ss := MustStateSpace(a, b, c, nil, ts)
+	stable, err := ss.IsStable(0)
+	if err != nil || !stable {
+		t.Fatalf("test system unstable: %v", err)
+	}
+	norm, _, err := ss.HInfNorm(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := ss.DCGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm <= math.Abs(dc.At(0, 0))*1.5 {
+		t.Fatalf("expected resonant peak: H∞=%v, DC=%v", norm, dc.At(0, 0))
+	}
+}
+
+func TestSimulateInputValidation(t *testing.T) {
+	ss := twoStateSystem(t)
+	if _, err := ss.Simulate([]float64{0, 0}, mat.New(5, 3)); err == nil {
+		t.Fatal("expected input-width error")
+	}
+	if _, err := ss.Simulate([]float64{0}, mat.New(5, 1)); err == nil {
+		t.Fatal("expected x0-length error")
+	}
+	if _, err := ss.StepResponse(7, 10); err == nil {
+		t.Fatal("expected input-index error")
+	}
+}

@@ -1,0 +1,78 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input is not
+// symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular Cholesky factor L of a symmetric
+// positive-definite matrix A = L*Lᵀ.
+type Cholesky struct {
+	l *Matrix
+}
+
+// FactorCholesky computes the Cholesky factorization of a symmetric
+// positive-definite matrix. Only the lower triangle of a is read.
+func FactorCholesky(a *Matrix) (*Cholesky, error) {
+	if !a.IsSquare() {
+		return nil, errors.New("mat: Cholesky of non-square matrix")
+	}
+	n := a.rows
+	l := New(n, n)
+	for j := 0; j < n; j++ {
+		var d float64
+		for k := 0; k < j; k++ {
+			var s float64
+			for i := 0; i < k; i++ {
+				s += l.data[k*n+i] * l.data[j*n+i]
+			}
+			s = (a.data[j*n+k] - s) / l.data[k*n+k]
+			l.data[j*n+k] = s
+			d += s * s
+		}
+		d = a.data[j*n+j] - d
+		if d <= 0 {
+			return nil, ErrNotPositiveDefinite
+		}
+		l.data[j*n+j] = math.Sqrt(d)
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Matrix { return c.l.Clone() }
+
+// SolveVec solves A*x = b using the factorization.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	n := c.l.rows
+	x := make([]float64, n)
+	copy(x, b)
+	// Forward: L*y = b.
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += c.l.data[i*n+j] * x[j]
+		}
+		x[i] = (x[i] - s) / c.l.data[i*n+i]
+	}
+	// Backward: Lᵀ*x = y.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += c.l.data[j*n+i] * x[j]
+		}
+		x[i] = (x[i] - s) / c.l.data[i*n+i]
+	}
+	return x
+}
+
+// IsPositiveDefinite reports whether the symmetric part of a is positive
+// definite.
+func IsPositiveDefinite(a *Matrix) bool {
+	_, err := FactorCholesky(Symmetrize(a))
+	return err == nil
+}

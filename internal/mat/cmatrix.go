@@ -1,0 +1,223 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// CMatrix is a dense, row-major matrix of complex128 values. It supports
+// the small amount of complex arithmetic needed for frequency-response
+// computation: construction, multiply, and LU solve.
+type CMatrix struct {
+	rows, cols int
+	data       []complex128
+}
+
+// CNew returns a zero-initialized r x c complex matrix.
+func CNew(r, c int) *CMatrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", r, c))
+	}
+	return &CMatrix{rows: r, cols: c, data: make([]complex128, r*c)}
+}
+
+// CFromReal returns a complex copy of a real matrix.
+func CFromReal(a *Matrix) *CMatrix {
+	c := CNew(a.rows, a.cols)
+	for i, v := range a.data {
+		c.data[i] = complex(v, 0)
+	}
+	return c
+}
+
+// CIdentity returns the n x n complex identity.
+func CIdentity(n int) *CMatrix {
+	m := CNew(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *CMatrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CMatrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *CMatrix) At(i, j int) complex128 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *CMatrix) Set(i, j int, v complex128) { m.data[i*m.cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *CMatrix) Clone() *CMatrix {
+	c := CNew(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// CScale returns s*a.
+func CScale(s complex128, a *CMatrix) *CMatrix {
+	c := CNew(a.rows, a.cols)
+	for i, v := range a.data {
+		c.data[i] = s * v
+	}
+	return c
+}
+
+// CAdd returns a + b.
+func CAdd(a, b *CMatrix) *CMatrix {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("mat: CAdd shape mismatch %dx%d vs %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	c := CNew(a.rows, a.cols)
+	for i, v := range a.data {
+		c.data[i] = v + b.data[i]
+	}
+	return c
+}
+
+// CSub returns a - b.
+func CSub(a, b *CMatrix) *CMatrix {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("mat: CSub shape mismatch %dx%d vs %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	c := CNew(a.rows, a.cols)
+	for i, v := range a.data {
+		c.data[i] = v - b.data[i]
+	}
+	return c
+}
+
+// CMul returns the complex matrix product a*b.
+func CMul(a, b *CMatrix) *CMatrix {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: CMul dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	c := CNew(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		for k := 0; k < a.cols; k++ {
+			av := a.data[i*a.cols+k]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				c.data[i*c.cols+j] += av * b.data[k*b.cols+j]
+			}
+		}
+	}
+	return c
+}
+
+// CSolve solves the square complex system a*x = b by LU with partial
+// pivoting.
+func CSolve(a, b *CMatrix) (*CMatrix, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: CSolve of non-square %dx%d matrix", a.rows, a.cols)
+	}
+	if b.rows != a.rows {
+		return nil, fmt.Errorf("mat: CSolve shape mismatch %dx%d vs n=%d", b.rows, b.cols, a.rows)
+	}
+	n := a.rows
+	lu := a.Clone()
+	x := b.Clone()
+	for k := 0; k < n; k++ {
+		p := k
+		mx := cmplx.Abs(lu.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(lu.data[i*n+k]); v > mx {
+				mx, p = v, i
+			}
+		}
+		if mx == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu.data[p*n+j], lu.data[k*n+j] = lu.data[k*n+j], lu.data[p*n+j]
+			}
+			for j := 0; j < x.cols; j++ {
+				x.data[p*x.cols+j], x.data[k*x.cols+j] = x.data[k*x.cols+j], x.data[p*x.cols+j]
+			}
+		}
+		piv := lu.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu.data[i*n+k] / piv
+			if m == 0 {
+				continue
+			}
+			lu.data[i*n+k] = m
+			for j := k + 1; j < n; j++ {
+				lu.data[i*n+j] -= m * lu.data[k*n+j]
+			}
+			for j := 0; j < x.cols; j++ {
+				x.data[i*x.cols+j] -= m * x.data[k*x.cols+j]
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := 0; j < x.cols; j++ {
+			s := x.data[i*x.cols+j]
+			for k := i + 1; k < n; k++ {
+				s -= lu.data[i*n+k] * x.data[k*x.cols+j]
+			}
+			x.data[i*x.cols+j] = s / lu.data[i*n+i]
+		}
+	}
+	return x, nil
+}
+
+// CNorm2 returns the spectral norm (largest singular value) of a complex
+// matrix, computed as sqrt(λ_max(AᴴA)) via power iteration.
+func CNorm2(a *CMatrix) float64 {
+	// Power iteration on AᴴA.
+	n := a.cols
+	if n == 0 || a.rows == 0 {
+		return 0
+	}
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(1/float64(n)+float64(i%3)*0.01, 0)
+	}
+	var lam float64
+	for iter := 0; iter < 200; iter++ {
+		// w = A*v.
+		w := make([]complex128, a.rows)
+		for i := 0; i < a.rows; i++ {
+			var s complex128
+			for j := 0; j < n; j++ {
+				s += a.data[i*n+j] * v[j]
+			}
+			w[i] = s
+		}
+		// z = Aᴴ*w.
+		z := make([]complex128, n)
+		for i := 0; i < a.rows; i++ {
+			wi := w[i]
+			for j := 0; j < n; j++ {
+				z[j] += cmplx.Conj(a.data[i*n+j]) * wi
+			}
+		}
+		var nrm float64
+		for _, zv := range z {
+			nrm += real(zv)*real(zv) + imag(zv)*imag(zv)
+		}
+		nrm = math.Sqrt(nrm)
+		if nrm == 0 {
+			return 0
+		}
+		newLam := math.Sqrt(nrm)
+		for i := range z {
+			v[i] = z[i] / complex(nrm, 0)
+		}
+		if iter > 3 && math.Abs(newLam-lam) <= 1e-12*newLam {
+			lam = newLam
+			break
+		}
+		lam = newLam
+	}
+	return lam
+}

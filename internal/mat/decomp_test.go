@@ -1,0 +1,431 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUSolve(t *testing.T) {
+	a := FromRows([][]float64{{4, 3}, {6, 3}})
+	b := []float64{10, 12}
+	x, err := SolveVec(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify residual.
+	r := VecSub(MulVec(a, x), b)
+	if VecNorm2(r) > 1e-12 {
+		t.Fatalf("residual %v too large, x=%v", r, x)
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if d := Det(a); math.Abs(d-(-2)) > 1e-12 {
+		t.Fatalf("Det = %v, want -2", d)
+	}
+	if d := Det(Identity(5)); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("Det(I) = %v, want 1", d)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := FactorLU(a); err == nil {
+		t.Fatal("expected ErrSingular for rank-1 matrix")
+	}
+	if d := Det(a); d != 0 {
+		t.Fatalf("Det of singular = %v, want 0", d)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randMatrix(rng, n, n)
+		// Diagonal boost to ensure well-conditioned.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !Mul(a, inv).ApproxEqual(Identity(n), 1e-9) {
+			t.Fatalf("trial %d: A*A⁻¹ != I", trial)
+		}
+	}
+}
+
+func TestQRLeastSquares(t *testing.T) {
+	// Overdetermined fit: y = 2 + 3x with exact data must recover exactly.
+	xs := []float64{0, 1, 2, 3, 4}
+	a := New(len(xs), 2)
+	b := New(len(xs), 1)
+	for i, x := range xs {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		b.Set(i, 0, 2+3*x)
+	}
+	sol, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.At(0, 0)-2) > 1e-10 || math.Abs(sol.At(1, 0)-3) > 1e-10 {
+		t.Fatalf("LeastSquares = %v, want [2;3]", sol)
+	}
+}
+
+func TestQRMatchesLUOnSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		a := randMatrix(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		b := randMatrix(rng, n, 2)
+		xlu, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := FactorQR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xqr, err := f.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !xlu.ApproxEqual(xqr, 1e-8) {
+			t.Fatalf("trial %d: LU and QR solutions disagree", trial)
+		}
+	}
+}
+
+func TestQRRankDeficientFallsBackToPInv(t *testing.T) {
+	// Columns are linearly dependent; LeastSquares must still return the
+	// minimum-norm solution without error.
+	a := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	b := FromRows([][]float64{{5}, {10}, {15}})
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Sub(Mul(a, x), b)
+	if res.NormFro() > 1e-9 {
+		t.Fatalf("residual %v too large", res.NormFro())
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	// A = Lᵀ*L with a known SPD matrix.
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	c, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := c.L()
+	if !Mul(l, l.T()).ApproxEqual(a, 1e-12) {
+		t.Fatalf("L*Lᵀ != A: %v", Mul(l, l.T()))
+	}
+	x := c.SolveVec([]float64{10, 8})
+	r := VecSub(MulVec(a, x), []float64{10, 8})
+	if VecNorm2(r) > 1e-10 {
+		t.Fatalf("Cholesky solve residual %v", r)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := FactorCholesky(a); err == nil {
+		t.Fatal("expected ErrNotPositiveDefinite")
+	}
+	if IsPositiveDefinite(a) {
+		t.Fatal("IsPositiveDefinite returned true for indefinite matrix")
+	}
+	if !IsPositiveDefinite(Identity(4)) {
+		t.Fatal("identity should be positive definite")
+	}
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.Intn(6)
+		n := 2 + rng.Intn(6)
+		a := randMatrix(rng, m, n)
+		s, err := FactorSVD(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reconstruct U*S*Vᵀ.
+		k := len(s.S)
+		us := s.U.Clone()
+		for j := 0; j < k; j++ {
+			for i := 0; i < us.Rows(); i++ {
+				us.Set(i, j, us.At(i, j)*s.S[j])
+			}
+		}
+		recon := Mul(us, s.V.T())
+		if !recon.ApproxEqual(a, 1e-9) {
+			t.Fatalf("trial %d (%dx%d): SVD reconstruction failed", trial, m, n)
+		}
+		// Singular values sorted descending and non-negative.
+		for j := 1; j < k; j++ {
+			if s.S[j] > s.S[j-1]+1e-12 {
+				t.Fatalf("singular values not sorted: %v", s.S)
+			}
+			if s.S[j] < 0 {
+				t.Fatalf("negative singular value: %v", s.S)
+			}
+		}
+		// U orthonormal columns.
+		utu := Mul(s.U.T(), s.U)
+		if !utu.ApproxEqual(Identity(k), 1e-9) {
+			t.Fatalf("UᵀU != I: %v", utu)
+		}
+	}
+}
+
+func TestSVDKnownValues(t *testing.T) {
+	// diag(3, 2) has singular values {3, 2}.
+	a := Diag(3, 2)
+	s, err := FactorSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.S[0]-3) > 1e-12 || math.Abs(s.S[1]-2) > 1e-12 {
+		t.Fatalf("singular values = %v, want [3 2]", s.S)
+	}
+	if s.Rank(0) != 2 {
+		t.Fatalf("Rank = %d, want 2", s.Rank(0))
+	}
+	if math.Abs(s.Cond()-1.5) > 1e-12 {
+		t.Fatalf("Cond = %v, want 1.5", s.Cond())
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}}) // rank 1
+	s, err := FactorSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Rank(0); r != 1 {
+		t.Fatalf("Rank = %d, want 1", r)
+	}
+}
+
+func TestPInvProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.Intn(5)
+		n := 2 + rng.Intn(5)
+		a := randMatrix(rng, m, n)
+		p, err := PInv(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Moore-Penrose conditions 1 and 2.
+		if !Mul(Mul(a, p), a).ApproxEqual(a, 1e-8) {
+			t.Fatalf("trial %d: A*A⁺*A != A", trial)
+		}
+		if !Mul(Mul(p, a), p).ApproxEqual(p, 1e-8) {
+			t.Fatalf("trial %d: A⁺*A*A⁺ != A⁺", trial)
+		}
+	}
+}
+
+func TestNorm2MatchesSVD(t *testing.T) {
+	a := FromRows([][]float64{{0, 2}, {0, 0}})
+	if got := Norm2(a); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Norm2 = %v, want 2", got)
+	}
+}
+
+func TestEigenvaluesDiagonal(t *testing.T) {
+	w, err := Eigenvalues(Diag(3, -1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []float64{real(w[0]), real(w[1]), real(w[2])}
+	sort.Float64s(got)
+	want := []float64{-1, 2, 3}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("eigenvalues = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEigenvaluesComplexPair(t *testing.T) {
+	// Rotation-like matrix [[0 -1],[1 0]] has eigenvalues ±i.
+	a := FromRows([][]float64{{0, -1}, {1, 0}})
+	w, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(imag(w[0])-1) > 1e-10 && math.Abs(imag(w[0])+1) > 1e-10 {
+		t.Fatalf("eigenvalues = %v, want ±i", w)
+	}
+	if math.Abs(real(w[0])) > 1e-10 {
+		t.Fatalf("eigenvalues = %v, want purely imaginary", w)
+	}
+}
+
+func TestEigenvaluesKnown3x3(t *testing.T) {
+	// Companion matrix of (λ-1)(λ-2)(λ-3) = λ³-6λ²+11λ-6.
+	a := FromRows([][]float64{
+		{6, -11, 6},
+		{1, 0, 0},
+		{0, 1, 0},
+	})
+	w, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []float64{real(w[0]), real(w[1]), real(w[2])}
+	sort.Float64s(got)
+	for i, want := range []float64{1, 2, 3} {
+		if math.Abs(got[i]-want) > 1e-8 {
+			t.Fatalf("eigenvalues = %v, want [1 2 3]", got)
+		}
+	}
+}
+
+func TestEigTraceDetInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(6)
+		a := randMatrix(rng, n, n)
+		w, err := Eigenvalues(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var sum complex128 = 0
+		var prod complex128 = 1
+		for _, v := range w {
+			sum += v
+			prod *= v
+		}
+		if math.Abs(imag(sum)) > 1e-8 {
+			t.Fatalf("trial %d: eigenvalue sum has imaginary part %v", trial, sum)
+		}
+		if math.Abs(real(sum)-a.Trace()) > 1e-7*(1+math.Abs(a.Trace())) {
+			t.Fatalf("trial %d: Σλ=%v, trace=%v", trial, real(sum), a.Trace())
+		}
+		det := Det(a)
+		if math.Abs(real(prod)-det) > 1e-6*(1+math.Abs(det)) {
+			t.Fatalf("trial %d: Πλ=%v, det=%v", trial, real(prod), det)
+		}
+	}
+}
+
+func TestSpectralRadius(t *testing.T) {
+	a := Diag(0.5, -0.9, 0.2)
+	r, err := SpectralRadius(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.9) > 1e-10 {
+		t.Fatalf("SpectralRadius = %v, want 0.9", r)
+	}
+}
+
+func TestCSolve(t *testing.T) {
+	a := CNew(2, 2)
+	a.Set(0, 0, complex(1, 1))
+	a.Set(0, 1, complex(0, 2))
+	a.Set(1, 0, complex(3, 0))
+	a.Set(1, 1, complex(1, -1))
+	b := CNew(2, 1)
+	b.Set(0, 0, complex(5, 1))
+	b.Set(1, 0, complex(2, 3))
+	x, err := CSolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := CSub(CMul(a, x), b)
+	for i := 0; i < 2; i++ {
+		v := r.At(i, 0)
+		if math.Hypot(real(v), imag(v)) > 1e-12 {
+			t.Fatalf("CSolve residual %v", v)
+		}
+	}
+}
+
+func TestCSolveSingular(t *testing.T) {
+	a := CNew(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := CSolve(a, CIdentity(2)); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestCNorm2MatchesRealNorm2(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 15; trial++ {
+		m := 2 + rng.Intn(4)
+		n := 2 + rng.Intn(4)
+		a := randMatrix(rng, m, n)
+		want := Norm2(a)
+		got := CNorm2(CFromReal(a))
+		if math.Abs(got-want) > 1e-8*(1+want) {
+			t.Fatalf("trial %d: CNorm2 = %v, real Norm2 = %v", trial, got, want)
+		}
+	}
+}
+
+// Property-based tests with testing/quick.
+
+func TestQuickDotSymmetry(t *testing.T) {
+	f := func(xs [4]float64, ys [4]float64) bool {
+		x, y := xs[:], ys[:]
+		a, b := Dot(x, y), Dot(y, x)
+		if math.IsNaN(a) && math.IsNaN(b) {
+			return true // both overflowed the same way
+		}
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickScaleLinearity(t *testing.T) {
+	f := func(vals [6]float64, s float64) bool {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		m := FromSlice(2, 3, vals[:])
+		lhs := Scale(s, Add(m, m))
+		rhs := Add(Scale(s, m), Scale(s, m))
+		return lhs.ApproxEqual(rhs, 1e-9*(1+math.Abs(s)*m.MaxAbs()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTransposeInvolution(t *testing.T) {
+	f := func(vals [12]float64) bool {
+		m := FromSlice(3, 4, vals[:])
+		return m.T().T().Equal(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,333 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEigNoConverge is returned when the QR eigenvalue iteration fails to
+// converge.
+var ErrEigNoConverge = errors.New("mat: eigenvalue iteration did not converge")
+
+// Eigenvalues returns all eigenvalues of a real square matrix as
+// complex128 values, sorted by decreasing magnitude. It uses balancing,
+// reduction to upper Hessenberg form, and the Francis double-shift QR
+// algorithm (eigenvalues only).
+func Eigenvalues(a *Matrix) ([]complex128, error) {
+	if !a.IsSquare() {
+		return nil, errors.New("mat: Eigenvalues of non-square matrix")
+	}
+	n := a.rows
+	if n == 0 {
+		return nil, nil
+	}
+	h := a.Clone()
+	balance(h)
+	hessenberg(h)
+	w, err := hqr(h)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(w, func(i, j int) bool {
+		mi, mj := cAbs(w[i]), cAbs(w[j])
+		if mi != mj {
+			return mi > mj
+		}
+		if real(w[i]) != real(w[j]) {
+			return real(w[i]) > real(w[j])
+		}
+		return imag(w[i]) > imag(w[j])
+	})
+	return w, nil
+}
+
+// SpectralRadius returns the largest eigenvalue magnitude of a.
+func SpectralRadius(a *Matrix) (float64, error) {
+	w, err := Eigenvalues(a)
+	if err != nil {
+		return 0, err
+	}
+	if len(w) == 0 {
+		return 0, nil
+	}
+	return cAbs(w[0]), nil
+}
+
+func cAbs(z complex128) float64 { return math.Hypot(real(z), imag(z)) }
+
+// balance applies iterative diagonal similarity scaling (Parlett-Reinsch)
+// so that row and column norms become comparable, improving eigenvalue
+// accuracy. It modifies a in place.
+func balance(a *Matrix) {
+	const radix = 2.0
+	n := a.rows
+	sqrdx := radix * radix
+	done := false
+	for !done {
+		done = true
+		for i := 0; i < n; i++ {
+			var r, c float64
+			for j := 0; j < n; j++ {
+				if j != i {
+					c += math.Abs(a.data[j*n+i])
+					r += math.Abs(a.data[i*n+j])
+				}
+			}
+			if c == 0 || r == 0 {
+				continue
+			}
+			g := r / radix
+			f := 1.0
+			s := c + r
+			for c < g {
+				f *= radix
+				c *= sqrdx
+			}
+			g = r * radix
+			for c > g {
+				f /= radix
+				c /= sqrdx
+			}
+			if (c+r)/f < 0.95*s {
+				done = false
+				g = 1 / f
+				for j := 0; j < n; j++ {
+					a.data[i*n+j] *= g
+				}
+				for j := 0; j < n; j++ {
+					a.data[j*n+i] *= f
+				}
+			}
+		}
+	}
+}
+
+// hessenberg reduces a to upper Hessenberg form in place by stabilized
+// elementary similarity transformations (elmhes).
+func hessenberg(a *Matrix) {
+	n := a.rows
+	for m := 1; m < n-1; m++ {
+		x := 0.0
+		i := m
+		for j := m; j < n; j++ {
+			if math.Abs(a.data[j*n+m-1]) > math.Abs(x) {
+				x = a.data[j*n+m-1]
+				i = j
+			}
+		}
+		if i != m {
+			for j := m - 1; j < n; j++ {
+				a.data[i*n+j], a.data[m*n+j] = a.data[m*n+j], a.data[i*n+j]
+			}
+			for j := 0; j < n; j++ {
+				a.data[j*n+i], a.data[j*n+m] = a.data[j*n+m], a.data[j*n+i]
+			}
+		}
+		if x != 0 {
+			for i := m + 1; i < n; i++ {
+				y := a.data[i*n+m-1]
+				if y == 0 {
+					continue
+				}
+				y /= x
+				a.data[i*n+m-1] = y
+				for j := m; j < n; j++ {
+					a.data[i*n+j] -= y * a.data[m*n+j]
+				}
+				for j := 0; j < n; j++ {
+					a.data[j*n+m] += y * a.data[j*n+i]
+				}
+			}
+		}
+	}
+	// Zero out the sub-Hessenberg part (it now holds multipliers).
+	for i := 2; i < n; i++ {
+		for j := 0; j < i-1; j++ {
+			a.data[i*n+j] = 0
+		}
+	}
+}
+
+func sign(a, b float64) float64 {
+	if b >= 0 {
+		return math.Abs(a)
+	}
+	return -math.Abs(a)
+}
+
+// hqr finds all eigenvalues of an upper Hessenberg matrix using the
+// Francis double-shift QR algorithm. The matrix is destroyed.
+func hqr(a *Matrix) ([]complex128, error) {
+	const eps = 2.22e-16
+	n := a.rows
+	at := func(i, j int) float64 { return a.data[i*n+j] }
+	set := func(i, j int, v float64) { a.data[i*n+j] = v }
+	wri := make([]complex128, n)
+
+	anorm := 0.0
+	for i := 0; i < n; i++ {
+		lo := i - 1
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < n; j++ {
+			anorm += math.Abs(at(i, j))
+		}
+	}
+	if anorm == 0 {
+		return wri, nil
+	}
+
+	nn := n - 1
+	t := 0.0
+	for nn >= 0 {
+		its := 0
+		var l int
+		for {
+			// Look for a single small subdiagonal element.
+			for l = nn; l > 0; l-- {
+				s := math.Abs(at(l-1, l-1)) + math.Abs(at(l, l))
+				if s == 0 {
+					s = anorm
+				}
+				if math.Abs(at(l, l-1)) <= eps*s {
+					set(l, l-1, 0)
+					break
+				}
+			}
+			x := at(nn, nn)
+			if l == nn {
+				// One real root found.
+				wri[nn] = complex(x+t, 0)
+				nn--
+			} else {
+				y := at(nn-1, nn-1)
+				w := at(nn, nn-1) * at(nn-1, nn)
+				if l == nn-1 {
+					// Two roots found.
+					p := 0.5 * (y - x)
+					q := p*p + w
+					z := math.Sqrt(math.Abs(q))
+					x += t
+					if q >= 0 {
+						z = p + sign(z, p)
+						wri[nn-1] = complex(x+z, 0)
+						wri[nn] = wri[nn-1]
+						if z != 0 {
+							wri[nn] = complex(x-w/z, 0)
+						}
+					} else {
+						wri[nn] = complex(x+p, -z)
+						wri[nn-1] = complex(x+p, z)
+					}
+					nn -= 2
+				} else {
+					// No roots yet; continue iterating.
+					if its == 30 {
+						return nil, ErrEigNoConverge
+					}
+					if its == 10 || its == 20 {
+						// Exceptional shift.
+						t += x
+						for i := 0; i < nn+1; i++ {
+							set(i, i, at(i, i)-x)
+						}
+						s := math.Abs(at(nn, nn-1)) + math.Abs(at(nn-1, nn-2))
+						y = 0.75 * s
+						x = y
+						w = -0.4375 * s * s
+					}
+					its++
+					var m int
+					var p, q, r float64
+					for m = nn - 2; m >= l; m-- {
+						z := at(m, m)
+						r = x - z
+						s := y - z
+						p = (r*s-w)/at(m+1, m) + at(m, m+1)
+						q = at(m+1, m+1) - z - r - s
+						r = at(m+2, m+1)
+						s = math.Abs(p) + math.Abs(q) + math.Abs(r)
+						p /= s
+						q /= s
+						r /= s
+						if m == l {
+							break
+						}
+						u := math.Abs(at(m, m-1)) * (math.Abs(q) + math.Abs(r))
+						v := math.Abs(p) * (math.Abs(at(m-1, m-1)) + math.Abs(z) + math.Abs(at(m+1, m+1)))
+						if u <= eps*v {
+							break
+						}
+					}
+					for i := m; i < nn-1; i++ {
+						set(i+2, i, 0)
+						if i != m {
+							set(i+2, i-1, 0)
+						}
+					}
+					// Double QR step on rows l..nn, columns m..nn.
+					for k := m; k < nn; k++ {
+						if k != m {
+							p = at(k, k-1)
+							q = at(k+1, k-1)
+							r = 0
+							if k+1 != nn {
+								r = at(k+2, k-1)
+							}
+							if x = math.Abs(p) + math.Abs(q) + math.Abs(r); x != 0 {
+								p /= x
+								q /= x
+								r /= x
+							}
+						}
+						s := sign(math.Sqrt(p*p+q*q+r*r), p)
+						if s == 0 {
+							continue
+						}
+						if k == m {
+							if l != m {
+								set(k, k-1, -at(k, k-1))
+							}
+						} else {
+							set(k, k-1, -s*x)
+						}
+						p += s
+						x = p / s
+						y = q / s
+						z := r / s
+						q /= p
+						r /= p
+						for j := k; j < nn+1; j++ {
+							pp := at(k, j) + q*at(k+1, j)
+							if k+1 != nn {
+								pp += r * at(k+2, j)
+								set(k+2, j, at(k+2, j)-pp*z)
+							}
+							set(k+1, j, at(k+1, j)-pp*y)
+							set(k, j, at(k, j)-pp*x)
+						}
+						mmin := nn
+						if k+3 < nn {
+							mmin = k + 3
+						}
+						for i := l; i < mmin+1; i++ {
+							pp := x*at(i, k) + y*at(i, k+1)
+							if k+1 != nn {
+								pp += z * at(i, k+2)
+								set(i, k+2, at(i, k+2)-pp*r)
+							}
+							set(i, k+1, at(i, k+1)-pp*q)
+							set(i, k, at(i, k)-pp)
+						}
+					}
+				}
+			}
+			if !(l+1 < nn) {
+				break
+			}
+		}
+	}
+	return wri, nil
+}

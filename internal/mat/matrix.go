@@ -1,0 +1,330 @@
+// Package mat implements dense real and complex linear algebra on small to
+// medium matrices: construction and arithmetic, LU/QR/Cholesky
+// factorizations, a one-sided Jacobi SVD, eigenvalues via Hessenberg
+// reduction and the Francis double-shift QR algorithm, and complex linear
+// solves for frequency-response computation.
+//
+// The package is self-contained (stdlib only) and tuned for the matrix
+// sizes that arise in control design (dimensions up to a few hundred). All
+// matrices are dense, row-major, and backed by []float64.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+//
+// The zero value is an empty 0x0 matrix. Methods that return a new matrix
+// never alias the receiver's backing storage.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zero-initialized r x c matrix.
+func New(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", r, c))
+	}
+	return &Matrix{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from a slice of equally long rows. The data is
+// copied.
+func FromRows(rows [][]float64) *Matrix {
+	r := len(rows)
+	if r == 0 {
+		return New(0, 0)
+	}
+	c := len(rows[0])
+	m := New(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("mat: ragged rows: row %d has %d entries, want %d", i, len(row), c))
+		}
+		copy(m.data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// FromSlice wraps a flat row-major slice as an r x c matrix. The data is
+// copied.
+func FromSlice(r, c int, data []float64) *Matrix {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: FromSlice got %d values for %dx%d", len(data), r, c))
+	}
+	m := New(r, c)
+	copy(m.data, data)
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Diag returns a square diagonal matrix with the given diagonal entries.
+func Diag(d ...float64) *Matrix {
+	n := len(d)
+	m := New(n, n)
+	for i, v := range d {
+		m.data[i*n+i] = v
+	}
+	return m
+}
+
+// ColVec returns a column vector (n x 1 matrix) holding v. The data is
+// copied.
+func ColVec(v ...float64) *Matrix {
+	m := New(len(v), 1)
+	copy(m.data, v)
+	return m
+}
+
+// RowVec returns a row vector (1 x n matrix) holding v. The data is copied.
+func RowVec(v ...float64) *Matrix {
+	m := New(1, len(v))
+	copy(m.data, v)
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Dims returns (rows, cols).
+func (m *Matrix) Dims() (int, int) { return m.rows, m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.bounds(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.bounds(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) bounds(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range for %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Row returns a copy of row i as a slice.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range for %dx%d", i, m.rows, m.cols))
+	}
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j as a slice.
+func (m *Matrix) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: col %d out of range for %dx%d", j, m.rows, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SetRow copies v into row i.
+func (m *Matrix) SetRow(i int, v []float64) {
+	if len(v) != m.cols {
+		panic(fmt.Sprintf("mat: SetRow got %d values, want %d", len(v), m.cols))
+	}
+	copy(m.data[i*m.cols:(i+1)*m.cols], v)
+}
+
+// SetCol copies v into column j.
+func (m *Matrix) SetCol(j int, v []float64) {
+	if len(v) != m.rows {
+		panic(fmt.Sprintf("mat: SetCol got %d values, want %d", len(v), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+j] = v[i]
+	}
+}
+
+// Slice returns a copy of the submatrix with rows [r0,r1) and columns
+// [c0,c1).
+func (m *Matrix) Slice(r0, r1, c0, c1 int) *Matrix {
+	if r0 < 0 || r1 > m.rows || c0 < 0 || c1 > m.cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("mat: slice [%d:%d,%d:%d] out of range for %dx%d", r0, r1, c0, c1, m.rows, m.cols))
+	}
+	s := New(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(s.data[(i-r0)*s.cols:(i-r0+1)*s.cols], m.data[i*m.cols+c0:i*m.cols+c1])
+	}
+	return s
+}
+
+// SetSubmatrix copies sub into m with its top-left corner at (r0, c0).
+func (m *Matrix) SetSubmatrix(r0, c0 int, sub *Matrix) {
+	if r0 < 0 || c0 < 0 || r0+sub.rows > m.rows || c0+sub.cols > m.cols {
+		panic(fmt.Sprintf("mat: submatrix %dx%d at (%d,%d) out of range for %dx%d",
+			sub.rows, sub.cols, r0, c0, m.rows, m.cols))
+	}
+	for i := 0; i < sub.rows; i++ {
+		copy(m.data[(r0+i)*m.cols+c0:(r0+i)*m.cols+c0+sub.cols], sub.data[i*sub.cols:(i+1)*sub.cols])
+	}
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// String formats the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d[", m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.6g", m.data[i*m.cols+j])
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// IsSquare reports whether m has as many rows as columns.
+func (m *Matrix) IsSquare() bool { return m.rows == m.cols }
+
+// Trace returns the sum of diagonal entries. It panics if m is not square.
+func (m *Matrix) Trace() float64 {
+	if !m.IsSquare() {
+		panic("mat: Trace of non-square matrix")
+	}
+	var t float64
+	for i := 0; i < m.rows; i++ {
+		t += m.data[i*m.cols+i]
+	}
+	return t
+}
+
+// MaxAbs returns the largest absolute entry, or 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// NormFro returns the Frobenius norm.
+func (m *Matrix) NormFro() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the maximum absolute column sum.
+func (m *Matrix) Norm1() float64 {
+	var mx float64
+	for j := 0; j < m.cols; j++ {
+		var s float64
+		for i := 0; i < m.rows; i++ {
+			s += math.Abs(m.data[i*m.cols+j])
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// NormInf returns the maximum absolute row sum.
+func (m *Matrix) NormInf() float64 {
+	var mx float64
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for j := 0; j < m.cols; j++ {
+			s += math.Abs(m.data[i*m.cols+j])
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// Equal reports exact element-wise equality of shape and values.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if v != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether m and o have the same shape and all entries
+// within tol of each other.
+func (m *Matrix) ApproxEqual(o *Matrix, tol float64) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Abs(v-o.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFinite reports whether every entry is finite (no NaN or Inf).
+func (m *Matrix) IsFinite() bool {
+	for _, v := range m.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// RawData returns the underlying row-major backing slice. Mutating it
+// mutates the matrix; callers that need isolation should Clone first.
+func (m *Matrix) RawData() []float64 { return m.data }

@@ -1,0 +1,268 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if r, c := m.Dims(); r != 2 || c != 3 {
+		t.Fatalf("Dims = (%d,%d), want (2,3)", r, c)
+	}
+	m.Set(1, 2, 5)
+	if got := m.At(1, 2); got != 5 {
+		t.Fatalf("At(1,2) = %v, want 5", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Fatalf("At(0,0) = %v, want 0", got)
+	}
+}
+
+func TestFromRowsAndSlice(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	n := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	if !m.Equal(n) {
+		t.Fatalf("FromRows and FromSlice disagree: %v vs %v", m, n)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	m := New(2, 2)
+	for _, f := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, -1) },
+		func() { m.Set(0, 2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected bounds panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIdentityDiag(t *testing.T) {
+	i3 := Identity(3)
+	d := Diag(1, 1, 1)
+	if !i3.Equal(d) {
+		t.Fatalf("Identity(3) != Diag(1,1,1)")
+	}
+	if i3.Trace() != 3 {
+		t.Fatalf("Trace(I3) = %v, want 3", i3.Trace())
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if r, c := mt.Dims(); r != 3 || c != 2 {
+		t.Fatalf("T dims = (%d,%d)", r, c)
+	}
+	if mt.At(2, 1) != 6 || mt.At(0, 1) != 4 {
+		t.Fatalf("transpose wrong: %v", mt)
+	}
+	if !mt.T().Equal(m) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	if got := Add(a, b); !got.Equal(FromRows([][]float64{{6, 8}, {10, 12}})) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a); !got.Equal(FromRows([][]float64{{4, 4}, {4, 4}})) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Scale(2, a); !got.Equal(FromRows([][]float64{{2, 4}, {6, 8}})) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := AddScaled(a, -1, a); got.MaxAbs() != 0 {
+		t.Fatalf("AddScaled(a,-1,a) = %v, want zero", got)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if got := Mul(a, b); !got.ApproxEqual(want, 1e-15) {
+		t.Fatalf("Mul = %v, want %v", got, want)
+	}
+	if got := Mul(a, Identity(2)); !got.ApproxEqual(a, 0) {
+		t.Fatalf("a*I = %v, want %v", got, a)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := MulVec(a, []float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	z := MulVecT([]float64{1, 1}, a)
+	if z[0] != 5 || z[1] != 7 || z[2] != 9 {
+		t.Fatalf("MulVecT = %v", z)
+	}
+}
+
+func TestStacking(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{3, 4}})
+	h := HStack(a, b)
+	if h.Rows() != 1 || h.Cols() != 4 || h.At(0, 3) != 4 {
+		t.Fatalf("HStack = %v", h)
+	}
+	v := VStack(a, b)
+	if v.Rows() != 2 || v.Cols() != 2 || v.At(1, 0) != 3 {
+		t.Fatalf("VStack = %v", v)
+	}
+	bd := BlockDiag(Identity(2), Scale(3, Identity(1)))
+	if bd.Rows() != 3 || bd.At(2, 2) != 3 || bd.At(0, 2) != 0 {
+		t.Fatalf("BlockDiag = %v", bd)
+	}
+}
+
+func TestSliceAndSetSubmatrix(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s := m.Slice(1, 3, 0, 2)
+	want := FromRows([][]float64{{4, 5}, {7, 8}})
+	if !s.Equal(want) {
+		t.Fatalf("Slice = %v, want %v", s, want)
+	}
+	m.SetSubmatrix(0, 1, FromRows([][]float64{{10, 11}}))
+	if m.At(0, 1) != 10 || m.At(0, 2) != 11 {
+		t.Fatalf("SetSubmatrix failed: %v", m)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	m := FromRows([][]float64{{3, -4}, {0, 0}})
+	if got := m.NormFro(); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("NormFro = %v, want 5", got)
+	}
+	if got := m.Norm1(); got != 4 {
+		t.Fatalf("Norm1 = %v, want 4", got)
+	}
+	if got := m.NormInf(); got != 7 {
+		t.Fatalf("NormInf = %v, want 7", got)
+	}
+	if got := m.MaxAbs(); got != 4 {
+		t.Fatalf("MaxAbs = %v, want 4", got)
+	}
+}
+
+func TestRowColOps(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if r := m.Row(1); r[0] != 3 || r[1] != 4 {
+		t.Fatalf("Row = %v", r)
+	}
+	if c := m.Col(0); c[0] != 1 || c[1] != 3 {
+		t.Fatalf("Col = %v", c)
+	}
+	m.SetRow(0, []float64{9, 8})
+	m.SetCol(1, []float64{7, 6})
+	if m.At(0, 0) != 9 || m.At(0, 1) != 7 || m.At(1, 1) != 6 {
+		t.Fatalf("SetRow/SetCol: %v", m)
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m := FromRows([][]float64{{1, 4}, {0, 2}})
+	s := Symmetrize(m)
+	if s.At(0, 1) != 2 || s.At(1, 0) != 2 {
+		t.Fatalf("Symmetrize = %v", s)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if got := Dot(x, y); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := VecNorm2([]float64{3, 4}); got != 5 {
+		t.Fatalf("VecNorm2 = %v", got)
+	}
+	if got := VecSub(y, x); got[0] != 3 || got[2] != 3 {
+		t.Fatalf("VecSub = %v", got)
+	}
+	if got := VecAdd(x, y); got[1] != 7 {
+		t.Fatalf("VecAdd = %v", got)
+	}
+	if got := VecScale(2, x); got[2] != 6 {
+		t.Fatalf("VecScale = %v", got)
+	}
+}
+
+func randMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		a := randMatrix(rng, 4, 3)
+		b := randMatrix(rng, 3, 5)
+		c := randMatrix(rng, 5, 2)
+		left := Mul(Mul(a, b), c)
+		right := Mul(a, Mul(b, c))
+		if !left.ApproxEqual(right, 1e-10) {
+			t.Fatalf("associativity violated at trial %d", trial)
+		}
+	}
+}
+
+func TestTransposeOfProductProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		a := randMatrix(rng, 4, 3)
+		b := randMatrix(rng, 3, 4)
+		lhs := Mul(a, b).T()
+		rhs := Mul(b.T(), a.T())
+		if !lhs.ApproxEqual(rhs, 1e-12) {
+			t.Fatalf("(AB)ᵀ != BᵀAᵀ at trial %d", trial)
+		}
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	m := New(2, 2)
+	if !m.IsFinite() {
+		t.Fatal("zero matrix should be finite")
+	}
+	m.Set(0, 1, math.NaN())
+	if m.IsFinite() {
+		t.Fatal("NaN matrix should not be finite")
+	}
+	m.Set(0, 1, math.Inf(1))
+	if m.IsFinite() {
+		t.Fatal("Inf matrix should not be finite")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if s := m.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,250 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+func sameShape(op string, a, b *Matrix) {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, a.rows, a.cols, b.rows, b.cols))
+	}
+}
+
+// Add returns a + b.
+func Add(a, b *Matrix) *Matrix {
+	sameShape("Add", a, b)
+	c := New(a.rows, a.cols)
+	for i, v := range a.data {
+		c.data[i] = v + b.data[i]
+	}
+	return c
+}
+
+// Sub returns a - b.
+func Sub(a, b *Matrix) *Matrix {
+	sameShape("Sub", a, b)
+	c := New(a.rows, a.cols)
+	for i, v := range a.data {
+		c.data[i] = v - b.data[i]
+	}
+	return c
+}
+
+// Scale returns s * a.
+func Scale(s float64, a *Matrix) *Matrix {
+	c := New(a.rows, a.cols)
+	for i, v := range a.data {
+		c.data[i] = s * v
+	}
+	return c
+}
+
+// AddScaled returns a + s*b.
+func AddScaled(a *Matrix, s float64, b *Matrix) *Matrix {
+	sameShape("AddScaled", a, b)
+	c := New(a.rows, a.cols)
+	for i, v := range a.data {
+		c.data[i] = v + s*b.data[i]
+	}
+	return c
+}
+
+// Mul returns the matrix product a * b.
+func Mul(a, b *Matrix) *Matrix {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	c := New(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		crow := c.data[i*c.cols : (i+1)*c.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MulChain multiplies matrices left to right: MulChain(a,b,c) = (a*b)*c.
+func MulChain(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		panic("mat: MulChain of no matrices")
+	}
+	p := ms[0]
+	for _, m := range ms[1:] {
+		p = Mul(p, m)
+	}
+	return p
+}
+
+// MulVec returns the matrix-vector product a*x as a slice of length
+// a.Rows().
+func MulVec(a *Matrix, x []float64) []float64 {
+	if a.cols != len(x) {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d * len %d", a.rows, a.cols, len(x)))
+	}
+	y := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// MulVecT returns xᵀ*a as a slice of length a.Cols().
+func MulVecT(x []float64, a *Matrix) []float64 {
+	if a.rows != len(x) {
+		panic(fmt.Sprintf("mat: MulVecT dimension mismatch len %d * %dx%d", len(x), a.rows, a.cols))
+	}
+	y := make([]float64, a.cols)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		for j, v := range row {
+			y[j] += xv * v
+		}
+	}
+	return y
+}
+
+// HStack concatenates matrices horizontally (same row count).
+func HStack(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	rows := ms[0].rows
+	cols := 0
+	for _, m := range ms {
+		if m.rows != rows {
+			panic(fmt.Sprintf("mat: HStack row mismatch %d vs %d", m.rows, rows))
+		}
+		cols += m.cols
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, m := range ms {
+		out.SetSubmatrix(0, off, m)
+		off += m.cols
+	}
+	return out
+}
+
+// VStack concatenates matrices vertically (same column count).
+func VStack(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	cols := ms[0].cols
+	rows := 0
+	for _, m := range ms {
+		if m.cols != cols {
+			panic(fmt.Sprintf("mat: VStack col mismatch %d vs %d", m.cols, cols))
+		}
+		rows += m.rows
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, m := range ms {
+		out.SetSubmatrix(off, 0, m)
+		off += m.rows
+	}
+	return out
+}
+
+// BlockDiag builds a block-diagonal matrix from the given blocks.
+func BlockDiag(ms ...*Matrix) *Matrix {
+	var rows, cols int
+	for _, m := range ms {
+		rows += m.rows
+		cols += m.cols
+	}
+	out := New(rows, cols)
+	r, c := 0, 0
+	for _, m := range ms {
+		out.SetSubmatrix(r, c, m)
+		r += m.rows
+		c += m.cols
+	}
+	return out
+}
+
+// Symmetrize returns (a + aᵀ)/2, removing numerical asymmetry.
+func Symmetrize(a *Matrix) *Matrix {
+	if !a.IsSquare() {
+		panic("mat: Symmetrize of non-square matrix")
+	}
+	s := New(a.rows, a.cols)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			s.data[i*a.cols+j] = 0.5 * (a.data[i*a.cols+j] + a.data[j*a.cols+i])
+		}
+	}
+	return s
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// VecNorm2 returns the Euclidean norm of x.
+func VecNorm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// VecSub returns x - y as a new slice.
+func VecSub(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: VecSub length mismatch %d vs %d", len(x), len(y)))
+	}
+	z := make([]float64, len(x))
+	for i := range x {
+		z[i] = x[i] - y[i]
+	}
+	return z
+}
+
+// VecAdd returns x + y as a new slice.
+func VecAdd(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: VecAdd length mismatch %d vs %d", len(x), len(y)))
+	}
+	z := make([]float64, len(x))
+	for i := range x {
+		z[i] = x[i] + y[i]
+	}
+	return z
+}
+
+// VecScale returns s*x as a new slice.
+func VecScale(s float64, x []float64) []float64 {
+	z := make([]float64, len(x))
+	for i, v := range x {
+		z[i] = s * v
+	}
+	return z
+}

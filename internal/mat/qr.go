@@ -1,0 +1,160 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q*R of an m x n matrix with
+// m >= n. Q is m x m orthogonal (stored implicitly as Householder
+// reflectors), R is upper triangular.
+type QR struct {
+	qr   *Matrix   // reflectors below the diagonal, R on and above
+	rdia []float64 // diagonal of R
+}
+
+// FactorQR computes the Householder QR factorization of a. It requires
+// a.Rows() >= a.Cols().
+func FactorQR(a *Matrix) (*QR, error) {
+	m, n := a.rows, a.cols
+	if m < n {
+		return nil, fmt.Errorf("mat: QR requires rows >= cols, got %dx%d", m, n)
+	}
+	qr := a.Clone()
+	rdia := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Norm of column k below row k.
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.data[i*n+k])
+		}
+		if nrm == 0 {
+			rdia[k] = 0
+			continue
+		}
+		if qr.data[k*n+k] < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.data[i*n+k] /= nrm
+		}
+		qr.data[k*n+k] += 1
+		// Apply reflector to remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.data[i*n+k] * qr.data[i*n+j]
+			}
+			s = -s / qr.data[k*n+k]
+			for i := k; i < m; i++ {
+				qr.data[i*n+j] += s * qr.data[i*n+k]
+			}
+		}
+		rdia[k] = -nrm
+	}
+	return &QR{qr: qr, rdia: rdia}, nil
+}
+
+// FullRank reports whether R has no (near-)zero diagonal entries relative
+// to the largest one.
+func (f *QR) FullRank() bool {
+	var mx float64
+	for _, d := range f.rdia {
+		if a := math.Abs(d); a > mx {
+			mx = a
+		}
+	}
+	if mx == 0 {
+		return false
+	}
+	tol := mx * 1e-12 * float64(f.qr.rows)
+	for _, d := range f.rdia {
+		if math.Abs(d) <= tol {
+			return false
+		}
+	}
+	return true
+}
+
+// R returns the upper-triangular factor (n x n).
+func (f *QR) R() *Matrix {
+	n := f.qr.cols
+	r := New(n, n)
+	for i := 0; i < n; i++ {
+		r.data[i*n+i] = f.rdia[i]
+		for j := i + 1; j < n; j++ {
+			r.data[i*n+j] = f.qr.data[i*f.qr.cols+j]
+		}
+	}
+	return r
+}
+
+// SolveVec solves the least-squares problem min ||A*x - b||₂ for one
+// right-hand side. A must have full column rank.
+func (f *QR) SolveVec(b []float64) ([]float64, error) {
+	m, n := f.qr.rows, f.qr.cols
+	if len(b) != m {
+		return nil, fmt.Errorf("mat: QR solve length mismatch %d vs %d", len(b), m)
+	}
+	if !f.FullRank() {
+		return nil, ErrSingular
+	}
+	y := make([]float64, m)
+	copy(y, b)
+	// Compute Qᵀ*b.
+	for k := 0; k < n; k++ {
+		if f.qr.data[k*n+k] == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += f.qr.data[i*n+k] * y[i]
+		}
+		s = -s / f.qr.data[k*n+k]
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.data[i*n+k]
+		}
+	}
+	// Back substitution with R.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.data[i*n+j] * x[j]
+		}
+		x[i] = s / f.rdia[i]
+	}
+	return x, nil
+}
+
+// Solve solves the least-squares problem min ||A*X - B||₂ column by
+// column.
+func (f *QR) Solve(b *Matrix) (*Matrix, error) {
+	if b.rows != f.qr.rows {
+		return nil, fmt.Errorf("mat: QR solve shape mismatch %dx%d vs m=%d", b.rows, b.cols, f.qr.rows)
+	}
+	x := New(f.qr.cols, b.cols)
+	for j := 0; j < b.cols; j++ {
+		col, err := f.SolveVec(b.Col(j))
+		if err != nil {
+			return nil, err
+		}
+		x.SetCol(j, col)
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||A*X - B||₂ via QR when A has full column rank,
+// falling back to the SVD pseudo-inverse for rank-deficient problems.
+func LeastSquares(a, b *Matrix) (*Matrix, error) {
+	if a.rows >= a.cols {
+		if f, err := FactorQR(a); err == nil && f.FullRank() {
+			return f.Solve(b)
+		}
+	}
+	pinv, err := PInv(a)
+	if err != nil {
+		return nil, err
+	}
+	return Mul(pinv, b), nil
+}

@@ -1,0 +1,110 @@
+package sim
+
+import "math"
+
+// First-order interval model of the out-of-order core (after Karkhanis &
+// Smith, "A First-Order Superscalar Processor Model", ISCA 2004): the
+// core sustains its ILP-limited issue rate except where miss events
+// insert stall intervals. The paper's cycle-level ESESC model is
+// replaced by this analytic model evaluated per 50 µs epoch; see
+// DESIGN.md for the substitution argument.
+
+// Microarchitectural constants of the modeled Cortex-A15-like core
+// (paper Table III: 3-issue out of order, 64 B lines, L2 18 cycles,
+// memory 125 cycles at the 1.3 GHz baseline ≈ 96 ns).
+const (
+	issueWidth = 3.0
+	// defaultROBDemand is the window-demand scale used when a workload
+	// does not specify one: ilpEff = ILP·(1 - exp(-ROB/demand)).
+	defaultROBDemand = 30.0
+	// l2HitLatencyCycles is the L1-miss/L2-hit service time.
+	l2HitLatencyCycles = 18.0
+	// l2OverlapFactor is the fraction of L2-hit latency the OoO engine
+	// cannot hide.
+	l2OverlapFactor = 0.55
+	// memLatencyNS is the main-memory latency in nanoseconds (fixed in
+	// wall-clock time, so its cycle cost grows with frequency — 125
+	// cycles at the 1.3 GHz baseline).
+	memLatencyNS = 96.0
+	// branchPenaltyCycles is the misprediction redirect cost.
+	branchPenaltyCycles = 14.0
+	// mlpROBRef is the ROB size at which MLPMax is fully achieved.
+	mlpROBRef = 128.0
+)
+
+// PerfResult reports one epoch of the interval model.
+type PerfResult struct {
+	IPC float64 // committed instructions per cycle
+	// BIPS is the performance output: billions of instructions per
+	// second over the epoch, accounting for any DVFS stall.
+	BIPS float64
+	// Instructions committed this epoch.
+	Instructions float64
+	// Component CPI breakdown (per instruction, in cycles).
+	CPIBase, CPIL1, CPIL2, CPIBranch float64
+	// Miss traffic actually used (after warm-up extras), per kI.
+	L1MPKI, L2MPKI float64
+}
+
+// EvalPerf runs the interval model for one epoch.
+//
+// warmL1/warmL2 are additional transient misses per kilo-instruction due
+// to recent cache resizes; dvfsStallFrac is the fraction of the epoch
+// lost to a DVFS transition.
+func EvalPerf(p PhaseParams, cfg Config, warmL1, warmL2, dvfsStallFrac float64) PerfResult {
+	f := cfg.FreqGHz()
+	rob := float64(cfg.ROBEntries())
+
+	// ILP exposed by the instruction window, at this workload's demand.
+	demand := p.ROBDemand
+	if demand <= 0 {
+		demand = defaultROBDemand
+	}
+	ilpEff := p.ILP * (1 - math.Exp(-rob/demand))
+	ipcCore := math.Min(issueWidth, ilpEff)
+	if ipcCore < 0.05 {
+		ipcCore = 0.05
+	}
+	cpiBase := 1 / ipcCore
+
+	// Miss traffic with resize warm-up transients. L2 misses cannot
+	// exceed L1 misses (inclusive hierarchy).
+	l1mpki := p.L1MPKI(cfg.L1Ways()) + warmL1
+	l2mpki := p.L2MPKI(cfg.L2Ways()) + warmL2
+	if l2mpki > l1mpki {
+		l2mpki = l1mpki
+	}
+
+	// Stall components per instruction.
+	cpiL1 := l1mpki / 1000 * l2HitLatencyCycles * l2OverlapFactor
+	memCycles := memLatencyNS * f // ns × GHz = cycles
+	// Memory-level parallelism grows with the window on the same
+	// per-workload demand scale, normalized so the full ROB achieves
+	// MLPMax.
+	mlpFrac := (1 - math.Exp(-rob/demand)) / (1 - math.Exp(-mlpROBRef/demand))
+	mlp := 1 + (p.MLPMax-1)*mlpFrac
+	if mlp < 1 {
+		mlp = 1
+	}
+	cpiL2 := l2mpki / 1000 * memCycles / mlp
+	cpiBr := p.BranchMPKI / 1000 * branchPenaltyCycles
+
+	cpi := cpiBase + cpiL1 + cpiL2 + cpiBr
+	ipc := 1 / cpi
+
+	if dvfsStallFrac < 0 {
+		dvfsStallFrac = 0
+	}
+	if dvfsStallFrac > 1 {
+		dvfsStallFrac = 1
+	}
+	activeSeconds := EpochSeconds * (1 - dvfsStallFrac)
+	instr := ipc * f * 1e9 * activeSeconds
+	bips := instr / EpochSeconds / 1e9
+
+	return PerfResult{
+		IPC: ipc, BIPS: bips, Instructions: instr,
+		CPIBase: cpiBase, CPIL1: cpiL1, CPIL2: cpiL2, CPIBranch: cpiBr,
+		L1MPKI: l1mpki, L2MPKI: l2mpki,
+	}
+}

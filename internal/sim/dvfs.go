@@ -1,0 +1,41 @@
+package sim
+
+// DVFS voltage/frequency pairs in the style of published ARM Cortex-A15
+// tables (Spiliopoulos et al., MASCOTS 2013), as the paper interpolates
+// (§VII-A). Published points are sparse; Voltage interpolates between
+// them linearly.
+
+// dvfsPoint is a published (frequency, voltage) operating pair.
+type dvfsPoint struct {
+	fGHz float64
+	v    float64
+}
+
+// a15DVFSTable approximates the published Cortex-A15 DVFS curve.
+var a15DVFSTable = []dvfsPoint{
+	{0.5, 0.80},
+	{0.8, 0.85},
+	{1.1, 0.93},
+	{1.4, 1.02},
+	{1.7, 1.13},
+	{2.0, 1.25},
+}
+
+// Voltage returns the supply voltage for a core frequency, interpolating
+// the published table and clamping outside its range.
+func Voltage(fGHz float64) float64 {
+	tbl := a15DVFSTable
+	if fGHz <= tbl[0].fGHz {
+		return tbl[0].v
+	}
+	if fGHz >= tbl[len(tbl)-1].fGHz {
+		return tbl[len(tbl)-1].v
+	}
+	for i := 1; i < len(tbl); i++ {
+		if fGHz <= tbl[i].fGHz {
+			t := (fGHz - tbl[i-1].fGHz) / (tbl[i].fGHz - tbl[i-1].fGHz)
+			return tbl[i-1].v + t*(tbl[i].v-tbl[i-1].v)
+		}
+	}
+	return tbl[len(tbl)-1].v
+}

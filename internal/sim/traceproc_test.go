@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"testing"
+)
+
+// traceStubWorkload provides both phase parameters and a trace spec.
+type traceStubWorkload struct {
+	stubWorkload
+	spec TraceSpec
+}
+
+func (w traceStubWorkload) TraceSpec(int) TraceSpec { return w.spec }
+
+func newTraceStub() traceStubWorkload {
+	spec := DefaultTraceSpec()
+	spec.WorkingSetBytes = 200 << 10 // thrashes a gated L2, fits the full one
+	spec.ZipfS = 1.01                // flat reuse
+	spec.StrideFraction = 0.1
+	spec.LoopFraction = 0.6 // array sweeps: capacity matters sharply
+	return traceStubWorkload{
+		stubWorkload: stubWorkload{name: "trace", params: computeParams()},
+		spec:         spec,
+	}
+}
+
+func TestTraceProcessorRequiresSpec(t *testing.T) {
+	w := stubWorkload{name: "plain", params: computeParams()}
+	if _, err := NewTraceProcessor(w, ProcessorOptions{Deterministic: true}, 1); err == nil {
+		t.Fatal("expected TraceSpec requirement error")
+	}
+}
+
+func TestTraceProcessorRunsAndIsPlausible(t *testing.T) {
+	p, err := NewTraceProcessor(newTraceStub(), ProcessorOptions{Deterministic: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := p.Run(200)
+	for i, tel := range trace {
+		if tel.TrueIPS <= 0 || tel.TrueIPS > 8 {
+			t.Fatalf("epoch %d: IPS %v", i, tel.TrueIPS)
+		}
+		if tel.TruePowerW <= 0 || tel.TruePowerW > 8 {
+			t.Fatalf("epoch %d: power %v", i, tel.TruePowerW)
+		}
+	}
+	e, n, s := p.Totals()
+	if e <= 0 || n <= 0 || s <= 0 {
+		t.Fatal("totals not accumulated")
+	}
+}
+
+func TestTraceProcessorCacheSensitivity(t *testing.T) {
+	// Steady-state IPS with the full cache must beat the gated cache,
+	// and the effect must come from the real hierarchy (no analytic
+	// warm-up terms are charged in trace mode).
+	run := func(cacheIdx int) float64 {
+		p, err := NewTraceProcessor(newTraceStub(), ProcessorOptions{Deterministic: true}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Apply(Config{FreqIdx: 8, CacheIdx: cacheIdx, ROBIdx: 4}); err != nil {
+			t.Fatal(err)
+		}
+		p.Run(150) // warm the hierarchy
+		var sum float64
+		for _, tel := range p.Run(100) {
+			sum += tel.TrueIPS
+		}
+		return sum / 100
+	}
+	big := run(0)   // (8,4)
+	small := run(3) // (2,1)
+	if big <= small {
+		t.Fatalf("full cache IPS %.3f not above gated %.3f", big, small)
+	}
+}
+
+func TestTraceProcessorResizeTransientEmerges(t *testing.T) {
+	p, err := NewTraceProcessor(newTraceStub(), ProcessorOptions{Deterministic: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Apply(Config{FreqIdx: 8, CacheIdx: 2, ROBIdx: 4}); err != nil {
+		t.Fatal(err)
+	}
+	p.Run(200)
+	var before float64
+	for _, tel := range p.Run(50) {
+		before += tel.TrueIPS
+	}
+	before /= 50
+	// Grow the cache: newly enabled ways start cold, so the first epochs
+	// cannot yet show the full benefit.
+	if err := p.Apply(Config{FreqIdx: 8, CacheIdx: 0, ROBIdx: 4}); err != nil {
+		t.Fatal(err)
+	}
+	first := p.Step().TrueIPS
+	p.Run(300)
+	var after float64
+	for _, tel := range p.Run(50) {
+		after += tel.TrueIPS
+	}
+	after /= 50
+	if after <= before {
+		t.Fatalf("bigger cache settled at %.3f, below %.3f", after, before)
+	}
+	if first >= after {
+		t.Fatalf("no cold-start transient: first epoch %.3f vs settled %.3f", first, after)
+	}
+}
+
+func TestTraceProcessorAgreesWithAnalyticDirection(t *testing.T) {
+	// The analytic-mode processor and the trace-driven one must agree on
+	// the *direction* of the frequency knob.
+	w := newTraceStub()
+	run := func(fi int) float64 {
+		p, err := NewTraceProcessor(w, ProcessorOptions{Deterministic: true}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Apply(Config{FreqIdx: fi, CacheIdx: 1, ROBIdx: 4}); err != nil {
+			t.Fatal(err)
+		}
+		p.Run(100)
+		var sum float64
+		for _, tel := range p.Run(50) {
+			sum += tel.TrueIPS
+		}
+		return sum / 50
+	}
+	if run(15) <= run(2) {
+		t.Fatal("higher frequency should raise IPS in trace mode")
+	}
+}

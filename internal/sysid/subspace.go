@@ -1,0 +1,264 @@
+package sysid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mimoctl/internal/lti"
+	"mimoctl/internal/mat"
+)
+
+// Subspace identification (PO-MOESP family): an alternative to the ARX
+// least-squares route that estimates the state-space matrices directly
+// from the column space of a projected block-Hankel matrix. MATLAB's
+// n4sid — part of the toolbox the paper uses — is the canonical
+// implementation of this family.
+//
+// The implementation uses the numerically standard LQ route: one QR
+// factorization of the stacked, transposed data matrices replaces the
+// huge explicit projections.
+
+// SubspaceOptions configures FitSubspace.
+type SubspaceOptions struct {
+	// Order is the desired state dimension n.
+	Order int
+	// Horizon is the block-Hankel depth i; it must exceed Order/outputs.
+	// Zero selects Order + 2.
+	Horizon int
+	// Direct includes a feed-through D term. The architectural control
+	// pipeline uses Direct == false (the controller requires D = 0).
+	Direct bool
+}
+
+// FitSubspace identifies a state-space model of the requested order
+// from a (detrended internally) input/output record.
+func FitSubspace(d *Data, opts SubspaceOptions) (*Model, error) {
+	if opts.Order < 1 {
+		return nil, errors.New("sysid: subspace order must be >= 1")
+	}
+	det, off := Detrend(d)
+	m := det.U.Cols()
+	l := det.Y.Cols()
+	n := opts.Order
+	i := opts.Horizon
+	if i == 0 {
+		i = n + 2
+	}
+	if i*l < n+l {
+		i = (n + l + l - 1) / l // ensure il > n so the shift equation is solvable
+	}
+	t := det.Samples()
+	j := t - 2*i + 1
+	rows := 2*i*m + 2*i*l
+	if j < 4*rows {
+		return nil, fmt.Errorf("sysid: record too short for subspace identification (need > %d samples)", 8*i*rows/4)
+	}
+
+	// Block-Hankel matrices, stacked as rows of H:
+	//   [U_f; U_p; Y_p; Y_f]  with each block i x (m or l) block-rows.
+	uf := hankelBlock(det.U, i, i, j) // future inputs
+	up := hankelBlock(det.U, 0, i, j) // past inputs
+	yp := hankelBlock(det.Y, 0, i, j) // past outputs
+	yf := hankelBlock(det.Y, i, i, j) // future outputs
+	h := mat.VStack(uf, up, yp, yf)
+
+	// LQ factorization via QR of the transpose: H = L Qᵀ.
+	qr, err := mat.FactorQR(h.T())
+	if err != nil {
+		return nil, fmt.Errorf("sysid: LQ factorization: %w", err)
+	}
+	lfac := qr.R().T() // lower triangular, rows x rows
+
+	// Row partitions of L.
+	r1 := i * m        // U_f
+	r2 := r1 + i*(m+l) // W_p = [U_p; Y_p]
+	r3 := r2 + i*l     // Y_f
+	// L32: Y_f block against the W_p columns — its column space spans
+	// the extended observability matrix Γ_i (PO-MOESP).
+	l32 := lfac.Slice(r2, r3, r1, r2)
+	svd, err := mat.FactorSVD(l32)
+	if err != nil {
+		return nil, err
+	}
+	if len(svd.S) < n || svd.S[n-1] <= 0 {
+		return nil, errors.New("sysid: data does not support the requested order")
+	}
+	// Γ_i = U1 * S1^(1/2).
+	gamma := mat.New(i*l, n)
+	for c := 0; c < n; c++ {
+		scale := sqrtf(svd.S[c])
+		for r := 0; r < i*l; r++ {
+			gamma.Set(r, c, svd.U.At(r, c)*scale)
+		}
+	}
+	// C is the first block row; A from the shift equation
+	// Γ_up A = Γ_down.
+	cMat := gamma.Slice(0, l, 0, n)
+	gUp := gamma.Slice(0, (i-1)*l, 0, n)
+	gDown := gamma.Slice(l, i*l, 0, n)
+	aMat, err := mat.LeastSquares(gUp, gDown)
+	if err != nil {
+		return nil, fmt.Errorf("sysid: shift equation: %w", err)
+	}
+
+	// B (and D, x0) by linear regression: with A, C fixed, the output is
+	// linear in (x0, B, D).
+	bMat, dMat, err := solveBD(det, aMat, cMat, opts.Direct)
+	if err != nil {
+		return nil, err
+	}
+	ss, err := lti.NewStateSpace(aMat, bMat, cMat, dMat, d.Ts)
+	if err != nil {
+		return nil, err
+	}
+	model := &Model{
+		SS:     ss,
+		Off:    off,
+		Orders: ARXOrders{NA: i, NB: i, Direct: opts.Direct},
+	}
+	// Noise covariances from one-step residuals of a Kalman-style
+	// innovation fit: use the simulation residuals as a conservative V,
+	// and map them into the state through the observability pinv as K.
+	if err := estimateSubspaceNoise(model, det); err != nil {
+		return nil, err
+	}
+	return model, nil
+}
+
+// hankelBlock builds the block-Hankel matrix with blockRows block rows
+// starting at sample `start`, with j columns: row-block r, column c
+// holds the sample at start + r + c.
+func hankelBlock(data *mat.Matrix, start, blockRows, j int) *mat.Matrix {
+	w := data.Cols()
+	out := mat.New(blockRows*w, j)
+	for r := 0; r < blockRows; r++ {
+		for c := 0; c < j; c++ {
+			row := data.Row(start + r + c)
+			for k := 0; k < w; k++ {
+				out.Set(r*w+k, c, row[k])
+			}
+		}
+	}
+	return out
+}
+
+// solveBD regresses the record on the (x0, B, D) parameters with A and
+// C fixed.
+func solveBD(d *Data, a, c *mat.Matrix, direct bool) (b, dm *mat.Matrix, err error) {
+	t := d.Samples()
+	n := a.Rows()
+	m := d.U.Cols()
+	l := d.Y.Cols()
+	// Unknown vector θ = [x0 (n); vec(B) (n*m, column-major by input);
+	// vec(D) (l*m) if direct].
+	cols := n + n*m
+	if direct {
+		cols += l * m
+	}
+	// Precompute C A^t via iteration; phiX[t] = C A^t (l x n).
+	phi := mat.New(t*l, cols)
+	tgt := mat.New(t*l, 1)
+	cat := c.Clone() // C A^k, starting k=0
+	// For the B columns we need s(t, τ) = C A^(t-τ-1) for τ < t; build
+	// incrementally: for each t, the contribution of u(τ) is
+	// C A^(t-τ-1) B u(τ). Maintain z_j(t) = Σ_τ A^(t-τ-1) e_j-weighted
+	// input states... Simpler: simulate n*m single-entry-B systems is
+	// O(n²·m·t); with n,m ≤ 8 this is cheap.
+	// zState[j*n + e] holds the state of the system driven by input j
+	// through unit B entry e.
+	zState := make([][]float64, n*m)
+	for idx := range zState {
+		zState[idx] = make([]float64, n)
+	}
+	for k := 0; k < t; k++ {
+		uk := d.U.Row(k)
+		yk := d.Y.Row(k)
+		for li := 0; li < l; li++ {
+			row := k*l + li
+			tgt.Set(row, 0, yk[li])
+			// x0 columns: C A^k.
+			for e := 0; e < n; e++ {
+				phi.Set(row, e, cat.At(li, e))
+			}
+			// B columns: C * zState.
+			for j := 0; j < m; j++ {
+				for e := 0; e < n; e++ {
+					var s float64
+					for q := 0; q < n; q++ {
+						s += c.At(li, q) * zState[j*n+e][q]
+					}
+					phi.Set(row, n+j*n+e, s)
+				}
+			}
+			if direct {
+				for j := 0; j < m; j++ {
+					phi.Set(row, n+n*m+li*m+j, uk[j])
+				}
+			}
+		}
+		// Advance: zState ← A zState + e_e * u_j(k); cat ← cat * A.
+		for j := 0; j < m; j++ {
+			for e := 0; e < n; e++ {
+				ns := mat.MulVec(a, zState[j*n+e])
+				ns[e] += uk[j]
+				zState[j*n+e] = ns
+			}
+		}
+		cat = mat.Mul(cat, a)
+	}
+	theta, err := mat.LeastSquares(phi, tgt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sysid: B/D regression: %w", err)
+	}
+	b = mat.New(n, m)
+	for j := 0; j < m; j++ {
+		for e := 0; e < n; e++ {
+			b.Set(e, j, theta.At(n+j*n+e, 0))
+		}
+	}
+	dm = mat.New(l, m)
+	if direct {
+		for li := 0; li < l; li++ {
+			for j := 0; j < m; j++ {
+				dm.Set(li, j, theta.At(n+n*m+li*m+j, 0))
+			}
+		}
+	}
+	return b, dm, nil
+}
+
+// estimateSubspaceNoise fills V, K, W from simulation residuals.
+func estimateSubspaceNoise(model *Model, det *Data) error {
+	t := det.Samples()
+	l := det.Y.Cols()
+	pred, err := model.SS.Simulate(make([]float64, model.SS.Order()), det.U)
+	if err != nil {
+		return err
+	}
+	v := mat.New(l, l)
+	for k := 0; k < t; k++ {
+		for i := 0; i < l; i++ {
+			for j := 0; j < l; j++ {
+				v.Set(i, j, v.At(i, j)+(det.Y.At(k, i)-pred.At(k, i))*(det.Y.At(k, j)-pred.At(k, j)))
+			}
+		}
+	}
+	model.V = mat.Scale(1/float64(t), v)
+	// Conservative innovation gain: route residuals through the
+	// pseudo-inverse of C.
+	cPinv, err := mat.PInv(model.SS.C)
+	if err != nil {
+		return err
+	}
+	model.K = cPinv
+	model.W = mat.Symmetrize(mat.MulChain(model.K, model.V, model.K.T()))
+	return nil
+}
+
+func sqrtf(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,131 @@
+package sysid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mimoctl/internal/mat"
+)
+
+func TestFitSubspaceRecoversNoiseFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	d := simulateTruth(rng, 1200, 0)
+	m, err := FitSubspace(d, SubspaceOptions{Order: 2, Direct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SS.Order() != 2 {
+		t.Fatalf("order %d", m.SS.Order())
+	}
+	// The realization basis differs from the truth, but the transfer
+	// behaviour must match: compare free-run prediction.
+	pred, err := m.Predict(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := FitPercent(d.Y, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, f := range fit {
+		if f < 95 {
+			t.Fatalf("output %d subspace fit %.1f%%", j, f)
+		}
+	}
+	// Poles must match the truth's A1 eigenvalues (0.6±..., triangular-
+	// ish): compare spectral radii of identified A vs truth.
+	rho, err := mat.SpectralRadius(m.SS.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truth A1 = [[0.6,0.1],[0.05,0.5]]: eigenvalues ~0.64, 0.46.
+	if math.Abs(rho-0.64) > 0.05 {
+		t.Fatalf("dominant pole %v, want ≈0.64", rho)
+	}
+}
+
+func TestFitSubspaceWithNoiseStillUsable(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	d := simulateTruth(rng, 4000, 0.05)
+	m, err := FitSubspace(d, SubspaceOptions{Order: 2, Direct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := FitPercent(d.Y, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, f := range fit {
+		if f < 70 {
+			t.Fatalf("output %d noisy subspace fit %.1f%%", j, f)
+		}
+	}
+	if m.V == nil || m.W == nil || !m.W.IsFinite() {
+		t.Fatal("noise covariances missing")
+	}
+	stable, err := m.SS.IsStable(0)
+	if err != nil || !stable {
+		t.Fatalf("identified model unstable: %v", err)
+	}
+}
+
+func TestFitSubspaceMatchesARXQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	d := simulateTruth(rng, 3000, 0.02)
+	train, val := d.Split(0.7)
+	arx, err := FitARX(train, ARXOrders{NA: 1, NB: 1, Direct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := FitSubspace(train, SubspaceOptions{Order: 2, Direct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := arx.Predict(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := sub.Predict(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, _ := FitPercent(val.Y, pa)
+	fs, _ := FitPercent(val.Y, ps)
+	for j := range fa {
+		if fs[j] < fa[j]-15 {
+			t.Fatalf("output %d: subspace fit %.1f%% far below ARX %.1f%%", j, fs[j], fa[j])
+		}
+	}
+}
+
+func TestFitSubspaceValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	d := simulateTruth(rng, 600, 0)
+	if _, err := FitSubspace(d, SubspaceOptions{Order: 0}); err == nil {
+		t.Fatal("expected order error")
+	}
+	short := simulateTruth(rng, 40, 0)
+	if _, err := FitSubspace(short, SubspaceOptions{Order: 2}); err == nil {
+		t.Fatal("expected record-too-short error")
+	}
+}
+
+func TestHankelBlockLayout(t *testing.T) {
+	data := mat.FromRows([][]float64{{0, 10}, {1, 11}, {2, 12}, {3, 13}, {4, 14}})
+	h := hankelBlock(data, 1, 2, 3)
+	// Block row 0 = samples 1..3, block row 1 = samples 2..4; 2 channels.
+	want := mat.FromRows([][]float64{
+		{1, 2, 3},
+		{11, 12, 13},
+		{2, 3, 4},
+		{12, 13, 14},
+	})
+	if !h.Equal(want) {
+		t.Fatalf("hankel = %v, want %v", h, want)
+	}
+}

@@ -1,0 +1,244 @@
+package workloads
+
+import (
+	"testing"
+
+	"mimoctl/internal/sim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 27 {
+		t.Fatalf("got %d profiles, want 27 (SPEC CPU2006 minus zeusmp and calculix)", len(all))
+	}
+	if len(TrainingSet()) != 4 {
+		t.Fatalf("training set size %d", len(TrainingSet()))
+	}
+	if len(ProductionSet()) != 23 {
+		t.Fatalf("production set size %d", len(ProductionSet()))
+	}
+	if len(NonResponsiveSet()) != 14 {
+		t.Fatalf("non-responsive size %d, want 14 (paper §VIII-D)", len(NonResponsiveSet()))
+	}
+	if len(ResponsiveSet()) != 9 {
+		t.Fatalf("responsive size %d", len(ResponsiveSet()))
+	}
+	if len(ValidationSet()) != 2 {
+		t.Fatalf("validation size %d", len(ValidationSet()))
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("namd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "namd" || p.Class() != FP {
+		t.Fatalf("namd lookup wrong: %v %v", p.Name(), p.Class())
+	}
+	if _, err := ByName("zeusmp"); err == nil {
+		t.Fatal("zeusmp should be absent (unsupported in the paper too)")
+	}
+	if Int.String() != "int" || FP.String() != "fp" {
+		t.Fatal("class strings")
+	}
+}
+
+func TestSetsAreDisjointAndCoverProduction(t *testing.T) {
+	train := map[string]bool{}
+	for _, p := range TrainingSet() {
+		train[p.Name()] = true
+	}
+	for _, p := range ProductionSet() {
+		if train[p.Name()] {
+			t.Fatalf("%s in both training and production", p.Name())
+		}
+	}
+	resp := map[string]bool{}
+	for _, p := range ResponsiveSet() {
+		resp[p.Name()] = true
+	}
+	for _, p := range NonResponsiveSet() {
+		if resp[p.Name()] {
+			t.Fatalf("%s in both responsive and non-responsive", p.Name())
+		}
+	}
+	if len(ResponsiveSet())+len(NonResponsiveSet()) != len(ProductionSet()) {
+		t.Fatal("responsive/non-responsive do not partition production")
+	}
+}
+
+func TestPhaseScheduleCyclesAndIDs(t *testing.T) {
+	p, err := ByName("astar") // four-phase profile
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Phases()) != 4 {
+		t.Fatalf("astar has %d phases", len(p.Phases()))
+	}
+	// Walk two full cycles; phase IDs must go 0..3,0..3 and params must
+	// repeat exactly.
+	cycle := 0
+	for _, ph := range p.Phases() {
+		cycle += ph.DurationEpochs
+	}
+	seen := map[int]bool{}
+	for e := 0; e < 2*cycle; e++ {
+		params, id := p.Params(e)
+		if id < 0 || id >= 4 {
+			t.Fatalf("phase id %d out of range", id)
+		}
+		seen[id] = true
+		p2, id2 := p.Params(e + cycle)
+		if id2 != id || p2 != params {
+			t.Fatalf("epoch %d: schedule does not repeat with period %d", e, cycle)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if !seen[i] {
+			t.Fatalf("phase %d never active", i)
+		}
+	}
+}
+
+// maxBIPS finds the best achievable BIPS over the whole configuration
+// space for the workload's nominal (phase-0) parameters.
+func maxBIPS(p *Profile) float64 {
+	params, _ := p.Params(0)
+	best := 0.0
+	for fi := range sim.FreqSettingsGHz {
+		for ci := range sim.CacheSettings {
+			for ri := range sim.ROBSettings {
+				perf := sim.EvalPerf(params, sim.Config{FreqIdx: fi, CacheIdx: ci, ROBIdx: ri}, 0, 0, 0)
+				if perf.BIPS > best {
+					best = perf.BIPS
+				}
+			}
+		}
+	}
+	return best
+}
+
+func TestResponsiveCanReachTarget(t *testing.T) {
+	for _, p := range ResponsiveSet() {
+		if got := maxBIPS(p); got < 2.5 {
+			t.Errorf("%s peaks at %.2f BIPS; responsive apps must reach 2.5", p.Name(), got)
+		}
+	}
+	// The training set is also used to derive a reachable target.
+	for _, p := range TrainingSet() {
+		if got := maxBIPS(p); got < 2.2 {
+			t.Errorf("%s (training) peaks at %.2f BIPS", p.Name(), got)
+		}
+	}
+}
+
+func TestNonResponsiveCannotReachTarget(t *testing.T) {
+	for _, p := range NonResponsiveSet() {
+		if got := maxBIPS(p); got >= 2.5 {
+			t.Errorf("%s reaches %.2f BIPS; non-responsive apps must stay below 2.5", p.Name(), got)
+		}
+	}
+}
+
+func TestParamsArePhysicallySane(t *testing.T) {
+	for _, p := range All() {
+		for i, ph := range p.Phases() {
+			q := ph.Params
+			if q.ILP <= 0 || q.ILP > 4 {
+				t.Errorf("%s phase %d: ILP %v", p.Name(), i, q.ILP)
+			}
+			if q.MemPKI <= 0 || q.MemPKI > 600 {
+				t.Errorf("%s phase %d: MemPKI %v", p.Name(), i, q.MemPKI)
+			}
+			if q.L1M1 < q.L1Floor || q.L2M1 < q.L2Floor {
+				t.Errorf("%s phase %d: miss curve m1 below floor", p.Name(), i)
+			}
+			if q.L2M1 > q.L1M1 {
+				t.Errorf("%s phase %d: L2 misses exceed L1 misses at 1 way", p.Name(), i)
+			}
+			if q.MLPMax < 1 || q.MLPMax > 5 {
+				t.Errorf("%s phase %d: MLPMax %v", p.Name(), i, q.MLPMax)
+			}
+			if q.Activity <= 0 {
+				t.Errorf("%s phase %d: activity %v", p.Name(), i, q.Activity)
+			}
+			if ph.DurationEpochs <= 0 {
+				t.Errorf("%s phase %d: duration %d", p.Name(), i, ph.DurationEpochs)
+			}
+		}
+	}
+}
+
+func TestProfilesDriveProcessor(t *testing.T) {
+	// Every profile must run on the processor and produce sane outputs.
+	for _, p := range All() {
+		proc, err := sim.NewProcessor(p, sim.DefaultProcessorOptions(), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace := proc.Run(50)
+		for _, tel := range trace {
+			if tel.TrueIPS <= 0 || tel.TrueIPS > 8 {
+				t.Fatalf("%s: IPS %v implausible", p.Name(), tel.TrueIPS)
+			}
+			if tel.TruePowerW <= 0 || tel.TruePowerW > 8 {
+				t.Fatalf("%s: power %v implausible", p.Name(), tel.TruePowerW)
+			}
+		}
+	}
+}
+
+func TestTraceSpecsDriveTraceProcessor(t *testing.T) {
+	// Every profile provides a TraceSpec and can run in the trace-driven
+	// mode; the measured L1 miss traffic must agree with the analytic
+	// curve's ordering (full cache ≤ gated cache misses).
+	for _, name := range []string{"namd", "milc", "mcf", "sjeng"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var _ sim.TraceSpecProvider = p
+		measure := func(cacheIdx int) float64 {
+			tp, err := sim.NewTraceProcessor(p, sim.ProcessorOptions{Deterministic: true}, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tp.Apply(sim.Config{FreqIdx: 8, CacheIdx: cacheIdx, ROBIdx: 3}); err != nil {
+				t.Fatal(err)
+			}
+			tp.Run(150)
+			var sum float64
+			for _, tel := range tp.Run(80) {
+				sum += tel.L1MPKI
+			}
+			return sum / 80
+		}
+		full := measure(0)
+		gated := measure(3)
+		if full > gated+1e-9 {
+			t.Errorf("%s: trace-mode L1 MPKI with full cache (%.2f) exceeds gated (%.2f)", name, full, gated)
+		}
+	}
+}
+
+func TestTraceSpecSanity(t *testing.T) {
+	for _, p := range All() {
+		for i := range p.Phases() {
+			spec := p.TraceSpec(i)
+			if spec.WorkingSetBytes < 16<<10 || spec.WorkingSetBytes > 512<<10 {
+				t.Errorf("%s phase %d: working set %d out of range", p.Name(), i, spec.WorkingSetBytes)
+			}
+			if spec.ColdFraction < 0 || spec.ColdFraction > 0.5 {
+				t.Errorf("%s phase %d: cold fraction %v", p.Name(), i, spec.ColdFraction)
+			}
+			if spec.ZipfS <= 1 || spec.ZipfS > 1.6 {
+				t.Errorf("%s phase %d: zipf %v", p.Name(), i, spec.ZipfS)
+			}
+		}
+		// Out-of-range phase IDs fall back to phase 0.
+		if p.TraceSpec(-1) != p.TraceSpec(0) || p.TraceSpec(999) != p.TraceSpec(0) {
+			t.Errorf("%s: phase fallback broken", p.Name())
+		}
+	}
+}
