@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: check vet build test race
+
+# check is the default verify flow: vet + build + race-enabled tests.
+check:
+	./scripts/check.sh
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mimoexp -exp fig6|fig7|fig8|fig9|fig10|fig11|fig12|edk|all [flags]
+//	mimoexp -exp fig6|fig7|fig8|fig9|fig10|fig11|fig12|edk|faults|all [flags]
 //
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the paper-vs-measured comparison.
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run: fig6, fig7, fig8, fig9, fig10, fig11, fig12, edk, ablation, design, all")
+		exp    = flag.String("exp", "all", "experiment to run: fig6, fig7, fig8, fig9, fig10, fig11, fig12, edk, ablation, design, faults, all")
 		seed   = flag.Int64("seed", experiments.DefaultSeed, "random seed for all stochastic behaviour")
 		epochs = flag.Int("epochs", 0, "override the experiment's epoch budget (0 = experiment default)")
 		k      = flag.Int("k", 3, "metric exponent for -exp edk: 1 = E, 3 = E×D²")
@@ -42,8 +42,9 @@ func main() {
 		"edk":      func() error { return run1(experiments.TableEDK(*seed, *epochs, *k)) },
 		"ablation": func() error { return run1(experiments.Ablation(*seed, *epochs)) },
 		"design":   func() error { return printDesign(*seed) },
+		"faults":   func() error { return run1(experiments.FaultSweep(*seed, *epochs)) },
 	}
-	order := []string{"design", "fig6", "fig7", "fig8", "fig11", "fig12", "fig9", "fig10", "edk", "ablation"}
+	order := []string{"design", "fig6", "fig7", "fig8", "fig11", "fig12", "fig9", "fig10", "edk", "ablation", "faults"}
 
 	names := []string{*exp}
 	if *exp == "all" {

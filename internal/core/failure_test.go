@@ -1,40 +1,117 @@
-package core
+package core_test
 
 import (
 	"math"
+	"sync"
 	"testing"
 
+	"mimoctl/internal/core"
+	"mimoctl/internal/decoupled"
+	"mimoctl/internal/heuristic"
 	"mimoctl/internal/sim"
+	"mimoctl/internal/workloads"
 )
 
-// Failure-injection tests: the deployed controller must stay finite,
-// legal, and recover when the sensors misbehave — the "unexpected corner
-// cases" the paper argues heuristic controllers mishandle (§I).
+// Failure-injection tests: the deployed controllers must stay finite,
+// legal, and recover when the sensors or the actuators misbehave — the
+// "unexpected corner cases" the paper argues heuristic controllers
+// mishandle (§I). The faults are injected through sim.FaultInjector so
+// these tests exercise the same fault model as the supervisor runtime
+// and the fault-sweep experiment. This file is an external test package
+// so it can pit all three controller families (core, heuristic,
+// decoupled) against the same scenarios without an import cycle.
 
-// runWithSensorFault drives the controller on namd, applying fault() to
-// each telemetry sample before the controller sees it.
-func runWithSensorFault(t *testing.T, fault func(epoch int, tel *sim.Telemetry), epochs int) (lastIPS, lastPower float64) {
+func failWorkload(t *testing.T, name string) sim.Workload {
 	t.Helper()
-	ctrl, _ := designTestController(t, false)
-	ctrl.SetTargets(DefaultIPSTarget, DefaultPowerTarget)
-	proc, err := sim.NewProcessor(mustWorkload(t, "namd"), sim.DefaultProcessorOptions(), 91)
+	w, err := workloads.ByName(name)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tel := proc.Step()
+	return w
+}
+
+func failTraining(t *testing.T) []sim.Workload {
+	t.Helper()
+	var out []sim.Workload
+	for _, p := range workloads.TrainingSet() {
+		out = append(out, p)
+	}
+	return out
+}
+
+// The formally designed controllers are expensive to build, so each
+// family is designed once and shared; every run Resets it first.
+var (
+	mimoOnce sync.Once
+	mimoCtrl *core.MIMOController
+	mimoErr  error
+
+	decOnce sync.Once
+	decCtrl *decoupled.Controller
+	decErr  error
+)
+
+func failureMIMO(t *testing.T) *core.MIMOController {
+	t.Helper()
+	mimoOnce.Do(func() {
+		mimoCtrl, _, mimoErr = core.DesignMIMO(core.DesignSpec{
+			Training:     failTraining(t),
+			Validation:   []sim.Workload{failWorkload(t, "h264ref"), failWorkload(t, "tonto")},
+			EpochsPerApp: 2000,
+			Seed:         5,
+		})
+	})
+	if mimoErr != nil {
+		t.Fatalf("DesignMIMO: %v", mimoErr)
+	}
+	return mimoCtrl
+}
+
+func failureDecoupled(t *testing.T) *decoupled.Controller {
+	t.Helper()
+	decOnce.Do(func() {
+		decCtrl, decErr = decoupled.Design(decoupled.DesignSpec{
+			Training:     failTraining(t),
+			EpochsPerApp: 2000,
+			Seed:         5,
+		})
+	})
+	if decErr != nil {
+		t.Fatalf("decoupled.Design: %v", decErr)
+	}
+	return decCtrl
+}
+
+// runFaulted drives a controller on namd through a FaultInjector
+// configured by addFaults, failing the test on any illegal
+// configuration or non-finite plant state, and returns the mean true
+// outputs over the final 300 epochs. Apply errors from injected
+// actuator faults are tolerated: a deployed loop keeps running when a
+// knob write fails.
+func runFaulted(t *testing.T, ctrl core.ArchController, seed int64, epochs int, addFaults func(*sim.FaultInjector)) (lastIPS, lastPower float64) {
+	t.Helper()
+	proc, err := sim.NewProcessor(failWorkload(t, "namd"), sim.DefaultProcessorOptions(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := sim.NewFaultInjector(proc, seed+1)
+	addFaults(inj)
+	ctrl.Reset()
+	ctrl.SetTargets(core.DefaultIPSTarget, core.DefaultPowerTarget)
+	tel := inj.Step()
 	var sumI, sumP float64
 	n := 0
 	for k := 0; k < epochs; k++ {
-		faulty := tel
-		fault(k, &faulty)
-		cfg := ctrl.Step(faulty)
+		cfg := ctrl.Step(tel)
 		if err := cfg.Validate(); err != nil {
 			t.Fatalf("epoch %d: controller produced illegal config: %v", k, err)
 		}
-		if err := proc.Apply(cfg); err != nil {
-			t.Fatal(err)
+		if err := inj.Apply(cfg); err != nil {
+			if _, ok := err.(*sim.ActuatorError); !ok {
+				t.Fatal(err)
+			}
 		}
-		tel = proc.Step()
+		tel = inj.Step()
 		if math.IsNaN(tel.TrueIPS) || math.IsInf(tel.TruePowerW, 0) {
 			t.Fatalf("epoch %d: plant state corrupted", k)
 		}
@@ -50,13 +127,12 @@ func runWithSensorFault(t *testing.T, fault func(epoch int, tel *sim.Telemetry),
 func TestControllerSurvivesSensorDropout(t *testing.T) {
 	// Sensors read zero for 200 consecutive epochs mid-run (a stuck
 	// power meter); the controller must recover afterwards.
-	ips, power := runWithSensorFault(t, func(k int, tel *sim.Telemetry) {
-		if k >= 1000 && k < 1200 {
-			tel.IPS = 0
-			tel.PowerW = 0
-		}
-	}, 3500)
-	if math.Abs(power-DefaultPowerTarget)/DefaultPowerTarget > 0.15 {
+	ips, power := runFaulted(t, failureMIMO(t), 91, 3500, func(inj *sim.FaultInjector) {
+		inj.AddSensorFault(sim.SensorFault{
+			Kind: sim.FaultDropout, Channel: sim.ChAll, From: 1000, Until: 1200,
+		})
+	})
+	if math.Abs(power-core.DefaultPowerTarget)/core.DefaultPowerTarget > 0.15 {
 		t.Fatalf("power %.3f W did not recover after dropout", power)
 	}
 	if ips < 1.5 {
@@ -67,13 +143,12 @@ func TestControllerSurvivesSensorDropout(t *testing.T) {
 func TestControllerSurvivesSensorSpikes(t *testing.T) {
 	// Occasional wild outliers (10x spikes) must not destabilize the
 	// loop — the Kalman filter and the Δu cost bound the reaction.
-	ips, power := runWithSensorFault(t, func(k int, tel *sim.Telemetry) {
-		if k%97 == 0 {
-			tel.IPS *= 10
-			tel.PowerW *= 10
-		}
-	}, 3500)
-	if math.Abs(power-DefaultPowerTarget)/DefaultPowerTarget > 0.20 {
+	ips, power := runFaulted(t, failureMIMO(t), 91, 3500, func(inj *sim.FaultInjector) {
+		inj.AddSensorFault(sim.SensorFault{
+			Kind: sim.FaultSpike, Channel: sim.ChAll, Every: 97, Magnitude: 10,
+		})
+	})
+	if math.Abs(power-core.DefaultPowerTarget)/core.DefaultPowerTarget > 0.20 {
 		t.Fatalf("power %.3f W under spikes", power)
 	}
 	if ips < 1.2 {
@@ -85,27 +160,94 @@ func TestControllerSurvivesFrozenSensor(t *testing.T) {
 	// A sensor frozen at a constant plausible value must not cause
 	// divergence (the integrators see a constant error; anti-windup and
 	// saturation bound the response to the knob range).
-	var frozen sim.Telemetry
-	haveFrozen := false
-	_, _ = runWithSensorFault(t, func(k int, tel *sim.Telemetry) {
-		if k == 500 {
-			frozen = *tel
-			haveFrozen = true
-		}
-		if haveFrozen && k > 500 {
-			tel.IPS = frozen.IPS
-			tel.PowerW = frozen.PowerW
-		}
-	}, 2500)
+	_, _ = runFaulted(t, failureMIMO(t), 91, 2500, func(inj *sim.FaultInjector) {
+		inj.AddSensorFault(sim.SensorFault{
+			Kind: sim.FaultFreeze, Channel: sim.ChAll, From: 500,
+		})
+	})
 	// Reaching here without NaN/illegal configs is the assertion.
+}
+
+func TestControllersSurviveStuckKnob(t *testing.T) {
+	// The frequency actuator ignores writes for 800 epochs (a locked
+	// DVFS domain); every family must ride it out and re-converge.
+	for _, tc := range []struct {
+		name string
+		ctrl core.ArchController
+	}{
+		{"MIMO", failureMIMO(t)},
+		{"Heuristic", heuristic.NewTracker(heuristic.Options{})},
+		{"Decoupled", failureDecoupled(t)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, power := runFaulted(t, tc.ctrl, 94, 3500, func(inj *sim.FaultInjector) {
+				inj.AddActuatorFault(sim.ActuatorFault{
+					Kind: sim.ActStuck, Knob: sim.KnobFreq, From: 800, Until: 1600,
+				})
+			})
+			if math.Abs(power-core.DefaultPowerTarget)/core.DefaultPowerTarget > 0.20 {
+				t.Fatalf("power %.3f W did not recover after stuck knob", power)
+			}
+		})
+	}
+}
+
+func TestControllersSurviveApplyErrors(t *testing.T) {
+	// Every knob write fails for 500 epochs; the plant keeps running on
+	// its previous configuration and the loop must recover afterwards.
+	for _, tc := range []struct {
+		name string
+		ctrl core.ArchController
+	}{
+		{"MIMO", failureMIMO(t)},
+		{"Heuristic", heuristic.NewTracker(heuristic.Options{})},
+		{"Decoupled", failureDecoupled(t)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, power := runFaulted(t, tc.ctrl, 95, 3500, func(inj *sim.FaultInjector) {
+				inj.AddActuatorFault(sim.ActuatorFault{
+					Kind: sim.ActError, From: 800, Until: 1300,
+				})
+			})
+			if math.Abs(power-core.DefaultPowerTarget)/core.DefaultPowerTarget > 0.20 {
+				t.Fatalf("power %.3f W did not recover after apply errors", power)
+			}
+		})
+	}
+}
+
+func TestControllersSurviveDelayedActuation(t *testing.T) {
+	// Configurations land 3 epochs late for 800 epochs (an unmodeled
+	// actuation latency); the loop may degrade inside the window but
+	// must stay legal and re-converge once actuation is prompt again.
+	for _, tc := range []struct {
+		name string
+		ctrl core.ArchController
+	}{
+		{"MIMO", failureMIMO(t)},
+		{"Heuristic", heuristic.NewTracker(heuristic.Options{})},
+		{"Decoupled", failureDecoupled(t)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, power := runFaulted(t, tc.ctrl, 96, 3500, func(inj *sim.FaultInjector) {
+				inj.AddActuatorFault(sim.ActuatorFault{
+					Kind: sim.ActDelay, From: 800, Until: 1600, DelayEpochs: 3,
+				})
+			})
+			if math.Abs(power-core.DefaultPowerTarget)/core.DefaultPowerTarget > 0.20 {
+				t.Fatalf("power %.3f W did not recover after delayed actuation", power)
+			}
+		})
+	}
 }
 
 func TestControllerUnreachableTargetsSaturateGracefully(t *testing.T) {
 	// Absurd targets must pin the knobs at a range limit without
 	// oscillation or numeric blowup — the anti-windup case.
-	ctrl, _ := designTestController(t, false)
+	ctrl := failureMIMO(t)
+	ctrl.Reset()
 	ctrl.SetTargets(50, 40) // far beyond the hardware
-	proc, err := sim.NewProcessor(mustWorkload(t, "namd"), sim.DefaultProcessorOptions(), 92)
+	proc, err := sim.NewProcessor(failWorkload(t, "namd"), sim.DefaultProcessorOptions(), 92)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +265,7 @@ func TestControllerUnreachableTargetsSaturateGracefully(t *testing.T) {
 		t.Fatalf("frequency %v not saturated high for unreachable targets", cfg)
 	}
 	// And switching back to feasible targets must recover tracking.
-	ctrl.SetTargets(DefaultIPSTarget, DefaultPowerTarget)
+	ctrl.SetTargets(core.DefaultIPSTarget, core.DefaultPowerTarget)
 	var sumP float64
 	n := 0
 	for k := 0; k < 2500; k++ {
@@ -137,7 +279,7 @@ func TestControllerUnreachableTargetsSaturateGracefully(t *testing.T) {
 			n++
 		}
 	}
-	if e := math.Abs(sumP/float64(n)-DefaultPowerTarget) / DefaultPowerTarget; e > 0.15 {
+	if e := math.Abs(sumP/float64(n)-core.DefaultPowerTarget) / core.DefaultPowerTarget; e > 0.15 {
 		t.Fatalf("power error %.1f%% after recovering from saturation", e*100)
 	}
 }
@@ -145,9 +287,10 @@ func TestControllerUnreachableTargetsSaturateGracefully(t *testing.T) {
 func TestControllerHandlesAbruptPhaseSwings(t *testing.T) {
 	// milc has four phases with different memory behaviour; the
 	// controller must remain stable across every transition.
-	ctrl, _ := designTestController(t, false)
-	ctrl.SetTargets(DefaultIPSTarget, DefaultPowerTarget)
-	proc, err := sim.NewProcessor(mustWorkload(t, "milc"), sim.DefaultProcessorOptions(), 93)
+	ctrl := failureMIMO(t)
+	ctrl.Reset()
+	ctrl.SetTargets(core.DefaultIPSTarget, core.DefaultPowerTarget)
+	proc, err := sim.NewProcessor(failWorkload(t, "milc"), sim.DefaultProcessorOptions(), 93)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,11 +3,30 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"mimoctl/internal/lqg"
 	"mimoctl/internal/sim"
 	"mimoctl/internal/sysid"
 )
+
+// Health counts the internal error events a deployed controller
+// absorbed rather than propagated. A hardware control loop cannot stop
+// to report an error — it must issue some configuration every epoch —
+// so faults are counted here and surfaced to the supervised runtime
+// (internal/supervisor), which decides when the accumulation means the
+// controller is sick.
+type Health struct {
+	// TargetErrors counts rejected SetTargets calls (non-finite or
+	// dimensionally invalid references); the previous targets stay.
+	TargetErrors int
+	// StepErrors counts LQG step failures; the previous configuration
+	// was held for those epochs.
+	StepErrors int
+	// FeedbackErrors counts rejected actuator-feedback updates
+	// (ObserveApplied failures).
+	FeedbackErrors int
+}
 
 // MIMOController is the paper's controller (Table IV "MIMO"): an LQG
 // servo controller over the identified plant model, actuating frequency
@@ -26,6 +45,7 @@ type MIMOController struct {
 	ipsTarget, powerTarget float64
 	cur                    sim.Config
 	haveCur                bool
+	health                 Health
 }
 
 // NewMIMOController wraps a designed LQG controller. Prefer DesignMIMO,
@@ -42,7 +62,9 @@ func NewMIMOController(lq *lqg.Controller, off sysid.Offsets, threeInput bool) (
 		return nil, errors.New("core: controller must have outputs [IPS, power]")
 	}
 	c := &MIMOController{lq: lq, off: off, threeInput: threeInput}
-	c.SetTargets(DefaultIPSTarget, DefaultPowerTarget)
+	if err := c.TrySetTargets(DefaultIPSTarget, DefaultPowerTarget); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
@@ -58,15 +80,40 @@ func (c *MIMOController) LQG() *lqg.Controller { return c.lq }
 // Offsets returns the identification operating point.
 func (c *MIMOController) Offsets() sysid.Offsets { return c.off }
 
-// SetTargets implements ArchController.
-func (c *MIMOController) SetTargets(ips, power float64) {
-	c.ipsTarget, c.powerTarget = ips, power
-	ref := []float64{ips - c.off.Y0[0], power - c.off.Y0[1]}
-	// The reference is always dimensionally valid here; the error path
-	// is unreachable after construction checks.
-	if err := c.lq.SetReference(ref); err != nil {
-		panic(err)
+// Health returns the absorbed-error counters since the last Reset.
+func (c *MIMOController) Health() Health { return c.health }
+
+// LastInnovation returns the Kalman innovation of the most recent Step
+// (absolute output units: BIPS, watts). The supervised runtime monitors
+// its magnitude to detect a model that no longer explains the plant.
+func (c *MIMOController) LastInnovation() []float64 { return c.lq.LastInnovation() }
+
+// TrySetTargets validates and updates the output references, reporting
+// why a reference was rejected. Rejected targets leave the previous
+// references in effect and increment Health.TargetErrors.
+func (c *MIMOController) TrySetTargets(ips, power float64) error {
+	if math.IsNaN(ips) || math.IsInf(ips, 0) || math.IsNaN(power) || math.IsInf(power, 0) {
+		c.health.TargetErrors++
+		return fmt.Errorf("core: non-finite targets (%v BIPS, %v W)", ips, power)
 	}
+	if ips < 0 || power < 0 {
+		c.health.TargetErrors++
+		return fmt.Errorf("core: negative targets (%v BIPS, %v W)", ips, power)
+	}
+	ref := []float64{ips - c.off.Y0[0], power - c.off.Y0[1]}
+	if err := c.lq.SetReference(ref); err != nil {
+		c.health.TargetErrors++
+		return fmt.Errorf("core: reference rejected: %w", err)
+	}
+	c.ipsTarget, c.powerTarget = ips, power
+	return nil
+}
+
+// SetTargets implements ArchController. Invalid targets are rejected
+// (counted in Health) and the previous references stay in effect; use
+// TrySetTargets to observe the error.
+func (c *MIMOController) SetTargets(ips, power float64) {
+	_ = c.TrySetTargets(ips, power)
 }
 
 // Targets implements ArchController.
@@ -83,8 +130,9 @@ func (c *MIMOController) Step(t sim.Telemetry) sim.Config {
 	y := []float64{t.IPS - c.off.Y0[0], t.PowerW - c.off.Y0[1]}
 	du, err := c.lq.Step(y)
 	if err != nil {
-		// Dimensions are fixed at construction; keep the current config
-		// if the impossible happens.
+		// Dimensions are fixed at construction; count the event and
+		// hold the current config if the impossible happens.
+		c.health.StepErrors++
 		return c.cur
 	}
 	// Deviation -> absolute knob units.
@@ -101,6 +149,8 @@ func (c *MIMOController) Step(t sim.Telemetry) sim.Config {
 	}
 	if err := c.lq.ObserveApplied(dq); err == nil {
 		c.cur = cfg
+	} else {
+		c.health.FeedbackErrors++
 	}
 	return c.cur
 }
@@ -109,5 +159,6 @@ func (c *MIMOController) Step(t sim.Telemetry) sim.Config {
 func (c *MIMOController) Reset() {
 	c.lq.Reset()
 	c.haveCur = false
+	c.health = Health{}
 	c.SetTargets(c.ipsTarget, c.powerTarget)
 }

@@ -15,6 +15,7 @@ package decoupled
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"mimoctl/internal/core"
@@ -35,6 +36,10 @@ type Controller struct {
 	ipsTarget, powerTarget float64
 	cur                    sim.Config
 	haveCur                bool
+	// Last good sensor readings, substituted for NaN/Inf samples so a
+	// corrupt sensor cannot poison the two estimators.
+	goodIPS, goodPower float64
+	haveGood           bool
 }
 
 // DesignSpec parameterizes the two SISO designs.
@@ -170,16 +175,23 @@ func boolInt64(b bool) int64 {
 // Name implements core.ArchController.
 func (c *Controller) Name() string { return "Decoupled" }
 
-// SetTargets implements core.ArchController.
+// SetTargets implements core.ArchController. Non-finite targets are
+// rejected and the previous references stay in effect: a deployed
+// controller must keep issuing configurations every epoch, so a bad
+// reference cannot be allowed to take down the loop.
 func (c *Controller) SetTargets(ips, power float64) {
-	c.ipsTarget, c.powerTarget = ips, power
-	// Errors are impossible: references are scalars per loop.
+	if math.IsNaN(ips) || math.IsInf(ips, 0) || math.IsNaN(power) || math.IsInf(power, 0) {
+		return
+	}
+	// The references are scalars per loop, so SetReference cannot fail
+	// dimensionally; a rejection keeps the previous reference.
 	if err := c.cacheLoop.SetReference([]float64{ips - c.cacheOff.Y0[0]}); err != nil {
-		panic(err)
+		return
 	}
 	if err := c.freqLoop.SetReference([]float64{power - c.freqOff.Y0[0]}); err != nil {
-		panic(err)
+		return
 	}
+	c.ipsTarget, c.powerTarget = ips, power
 }
 
 // Targets implements core.ArchController.
@@ -192,6 +204,26 @@ func (c *Controller) Step(t sim.Telemetry) sim.Config {
 		c.cur = t.Config
 		c.haveCur = true
 	}
+	// Last-good substitution: a NaN/Inf sample would corrupt the Kalman
+	// state estimates irreversibly, so corrupt channels are replaced by
+	// the most recent good reading (or the target before any good one).
+	ips, power := t.IPS, t.PowerW
+	if math.IsNaN(ips) || math.IsInf(ips, 0) {
+		if c.haveGood {
+			ips = c.goodIPS
+		} else {
+			ips = c.ipsTarget
+		}
+	}
+	if math.IsNaN(power) || math.IsInf(power, 0) {
+		if c.haveGood {
+			power = c.goodPower
+		} else {
+			power = c.powerTarget
+		}
+	}
+	c.goodIPS, c.goodPower, c.haveGood = ips, power, true
+	t.IPS, t.PowerW = ips, power
 	duCache, err := c.cacheLoop.Step([]float64{t.IPS - c.cacheOff.Y0[0]})
 	if err != nil {
 		return c.cur
@@ -219,5 +251,6 @@ func (c *Controller) Reset() {
 	c.cacheLoop.Reset()
 	c.freqLoop.Reset()
 	c.haveCur = false
+	c.haveGood = false
 	c.SetTargets(c.ipsTarget, c.powerTarget)
 }

@@ -121,6 +121,27 @@ func (r *AblationResult) Table() ([]string, [][]string) {
 }
 
 // ensure the interface is satisfied by every result type.
+// Table implements Tabular for FaultSweepResult.
+func (r *FaultSweepResult) Table() ([]string, [][]string) {
+	header := []string{"fault_class", "arch",
+		"fault_power_err_pct", "fault_ips_err_pct",
+		"recovery_power_err_pct", "recovery_ips_err_pct",
+		"sanitized", "fallbacks", "reengagements", "apply_failures",
+		"illegal_configs", "plant_corrupt"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Class, row.Arch,
+			ftoa(row.FaultPowerErrPct), ftoa(row.FaultIPSErrPct),
+			ftoa(row.PowerErrPct), ftoa(row.IPSErrPct),
+			itoa(row.Sanitized), itoa(row.Fallbacks),
+			itoa(row.Reengagements), itoa(row.ApplyFailures),
+			itoa(row.IllegalConfigs), strconv.FormatBool(row.PlantCorrupt),
+		})
+	}
+	return header, rows
+}
+
 var (
 	_ Tabular = (*Fig6Result)(nil)
 	_ Tabular = (*Fig7Result)(nil)
@@ -129,4 +150,5 @@ var (
 	_ Tabular = (*Fig12Result)(nil)
 	_ Tabular = (*EnergyResult)(nil)
 	_ Tabular = (*AblationResult)(nil)
+	_ Tabular = (*FaultSweepResult)(nil)
 )

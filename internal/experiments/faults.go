@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"mimoctl/internal/core"
+	"mimoctl/internal/sim"
+	"mimoctl/internal/supervisor"
+	"mimoctl/internal/workloads"
+)
+
+// FaultSweep is a Table-IV-style robustness experiment beyond the
+// paper's evaluation: every controller family (MIMO, Heuristic,
+// Decoupled) runs under the supervised runtime against each fault class
+// of the fault model (internal/sim FaultInjector), plus the raw
+// (unsupervised) MIMO controller as the control group. Faults strike a
+// window mid-run; the experiment reports tracking quality during the
+// fault and after it clears, and what the supervisor did (sanitized
+// samples, fallbacks, re-engagements). The paper's robustness argument
+// (§I, §VII) is qualitative; this sweep makes it measurable.
+
+// FaultClass is one failure scenario of the sweep. Windows are
+// expressed as fractions of the run so the sweep scales with -epochs.
+type FaultClass struct {
+	Name     string
+	Sensor   []sim.SensorFault
+	Actuator []sim.ActuatorFault
+}
+
+// FaultClasses returns the standard sweep scenarios for a run of the
+// given length. The fault window is [epochs/4, epochs*3/8) — active for
+// an eighth of the run, then cleared, leaving the second half for
+// recovery measurement — except the sparse spike scenario, which stays
+// on for the whole run (it strikes only every 97th epoch).
+func FaultClasses(epochs int) []FaultClass {
+	from, until := epochs/4, epochs*3/8
+	return []FaultClass{
+		{Name: "sensor-dropout", Sensor: []sim.SensorFault{
+			{Kind: sim.FaultDropout, Channel: sim.ChAll, From: from, Until: until}}},
+		{Name: "sensor-freeze", Sensor: []sim.SensorFault{
+			{Kind: sim.FaultFreeze, Channel: sim.ChAll, From: from, Until: until}}},
+		{Name: "sensor-spike", Sensor: []sim.SensorFault{
+			{Kind: sim.FaultSpike, Channel: sim.ChAll, Every: 97, Magnitude: 10}}},
+		{Name: "sensor-drift", Sensor: []sim.SensorFault{
+			{Kind: sim.FaultDrift, Channel: sim.ChPower, From: from, Until: until, Magnitude: 0.002}}},
+		{Name: "sensor-nan", Sensor: []sim.SensorFault{
+			{Kind: sim.FaultNaN, Channel: sim.ChAll, From: from, Until: until}}},
+		{Name: "sensor-inf", Sensor: []sim.SensorFault{
+			{Kind: sim.FaultInf, Channel: sim.ChPower, From: from, Until: until}}},
+		{Name: "actuator-stuck-freq", Actuator: []sim.ActuatorFault{
+			{Kind: sim.ActStuck, Knob: sim.KnobFreq, From: from, Until: until}}},
+		{Name: "actuator-apply-error", Actuator: []sim.ActuatorFault{
+			{Kind: sim.ActError, From: from, Until: until}}},
+		{Name: "actuator-delay", Actuator: []sim.ActuatorFault{
+			{Kind: sim.ActDelay, From: from, Until: until, DelayEpochs: 4}}},
+	}
+}
+
+// FaultRow is one (fault class, architecture) cell of the sweep.
+type FaultRow struct {
+	Class string
+	Arch  string
+	// FaultPowerErrPct / FaultIPSErrPct are the mean relative tracking
+	// errors of the true outputs while the fault is active.
+	FaultPowerErrPct, FaultIPSErrPct float64
+	// PowerErrPct / IPSErrPct are the same metrics over the final
+	// quarter of the run, after the fault cleared: the recovery test.
+	PowerErrPct, IPSErrPct float64
+	// Supervisor activity (zero for raw controllers).
+	Sanitized     int
+	Fallbacks     int
+	Reengagements int
+	ApplyFailures int
+	// IllegalConfigs counts configurations that failed validation at
+	// the harness boundary; PlantCorrupt reports a non-finite true
+	// plant output — both must stay zero/false for a survivable run.
+	IllegalConfigs int
+	PlantCorrupt   bool
+}
+
+// FaultSweepResult holds the full sweep.
+type FaultSweepResult struct {
+	Workload string
+	Epochs   int
+	Rows     []FaultRow
+}
+
+// FaultSweepWorkload is the workload the sweep runs on: namd, the same
+// training application the controller failure tests use.
+const FaultSweepWorkload = "namd"
+
+// FaultSweep runs every architecture against every fault class.
+// epochs <= 0 selects 4000.
+func FaultSweep(seed int64, epochs int) (*FaultSweepResult, error) {
+	if epochs <= 0 {
+		epochs = 4000
+	}
+	w, err := workloads.ByName(FaultSweepWorkload)
+	if err != nil {
+		return nil, err
+	}
+	mimo, _, err := DesignedMIMO(false, seed)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := DesignedDecoupled(seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &FaultSweepResult{Workload: w.Name(), Epochs: epochs}
+	for _, fc := range FaultClasses(epochs) {
+		ctrls := []core.ArchController{
+			supervisor.New(mimo, supervisor.Options{}),
+			mimo,
+			supervisor.New(NewHeuristicTracker(false), supervisor.Options{}),
+			supervisor.New(dec, supervisor.Options{}),
+		}
+		for _, ctrl := range ctrls {
+			row, err := runFaulted(ctrl, w, fc, seed, epochs)
+			if err != nil {
+				return nil, fmt.Errorf("%s under %s: %w", ctrl.Name(), fc.Name, err)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// runFaulted drives one controller against one fault class. Apply
+// errors are reported to the controller when it observes actuation
+// outcomes (the supervised runtime) and tolerated otherwise — a
+// deployed loop cannot abort on a failed knob write.
+func runFaulted(ctrl core.ArchController, w sim.Workload, fc FaultClass, seed int64, epochs int) (FaultRow, error) {
+	proc, err := sim.NewProcessor(w, sim.DefaultProcessorOptions(), seed+701)
+	if err != nil {
+		return FaultRow{}, err
+	}
+	inj := sim.NewFaultInjector(proc, seed+702)
+	for _, sf := range fc.Sensor {
+		inj.AddSensorFault(sf)
+	}
+	for _, af := range fc.Actuator {
+		inj.AddActuatorFault(af)
+	}
+	ctrl.Reset()
+	ctrl.SetTargets(core.DefaultIPSTarget, core.DefaultPowerTarget)
+	row := FaultRow{Class: fc.Name, Arch: ctrl.Name()}
+	obs, observes := ctrl.(supervisor.ApplyObserver)
+
+	faultFrom, faultUntil := epochs/4, epochs*3/8
+	recoverFrom := epochs * 3 / 4
+	var fSumP, fSumI float64
+	var rSumP, rSumI float64
+	fN, rN := 0, 0
+
+	tel := inj.Step()
+	for k := 0; k < epochs; k++ {
+		cfg := ctrl.Step(tel)
+		if err := cfg.Validate(); err != nil {
+			row.IllegalConfigs++
+			cfg = tel.Config
+		}
+		aerr := inj.Apply(cfg)
+		if observes {
+			obs.ObserveApply(cfg, aerr)
+		}
+		tel = inj.Step()
+		if math.IsNaN(tel.TrueIPS) || math.IsInf(tel.TrueIPS, 0) ||
+			math.IsNaN(tel.TruePowerW) || math.IsInf(tel.TruePowerW, 0) {
+			row.PlantCorrupt = true
+		}
+		eP := math.Abs(tel.TruePowerW-core.DefaultPowerTarget) / core.DefaultPowerTarget
+		eI := math.Abs(tel.TrueIPS-core.DefaultIPSTarget) / core.DefaultIPSTarget
+		if k >= faultFrom && k < faultUntil {
+			fSumP += eP
+			fSumI += eI
+			fN++
+		}
+		if k >= recoverFrom {
+			rSumP += eP
+			rSumI += eI
+			rN++
+		}
+	}
+	if fN > 0 {
+		row.FaultPowerErrPct = 100 * fSumP / float64(fN)
+		row.FaultIPSErrPct = 100 * fSumI / float64(fN)
+	}
+	if rN > 0 {
+		row.PowerErrPct = 100 * rSumP / float64(rN)
+		row.IPSErrPct = 100 * rSumI / float64(rN)
+	}
+	if sup, ok := ctrl.(*supervisor.Supervised); ok {
+		h := sup.Health()
+		row.Sanitized = h.SanitizedIPS + h.SanitizedPower
+		row.Fallbacks = h.Fallbacks
+		row.Reengagements = h.Reengagements
+		row.ApplyFailures = h.ApplyFailures
+	}
+	return row, nil
+}
+
+// Row returns the sweep cell for (class, arch), or nil.
+func (r *FaultSweepResult) Row(class, arch string) *FaultRow {
+	for i := range r.Rows {
+		if r.Rows[i].Class == class && r.Rows[i].Arch == arch {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// WriteText renders the sweep grouped by fault class.
+func (r *FaultSweepResult) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Fault sweep on %s (%d epochs; fault window epochs %d-%d; recovery measured from epoch %d)\n",
+		r.Workload, r.Epochs, r.Epochs/4, r.Epochs*3/8, r.Epochs*3/4)
+	fmt.Fprintln(w, "errors are mean |true output - target| / target; recovery target band is 15% power")
+	cur := ""
+	var rows [][]string
+	flush := func() {
+		if len(rows) > 0 {
+			writeTable(w, []string{"arch", "fault P err", "fault IPS err", "recov P err", "recov IPS err", "sanitized", "fallbacks", "reengaged", "survived"}, rows)
+			rows = nil
+		}
+	}
+	for _, row := range r.Rows {
+		if row.Class != cur {
+			flush()
+			cur = row.Class
+			fmt.Fprintf(w, "\n[%s]\n", cur)
+		}
+		survived := "yes"
+		if row.PlantCorrupt || row.IllegalConfigs > 0 {
+			survived = "NO"
+		}
+		rows = append(rows, []string{
+			row.Arch,
+			fmt.Sprintf("%.1f%%", row.FaultPowerErrPct),
+			fmt.Sprintf("%.1f%%", row.FaultIPSErrPct),
+			fmt.Sprintf("%.1f%%", row.PowerErrPct),
+			fmt.Sprintf("%.1f%%", row.IPSErrPct),
+			itoa(row.Sanitized),
+			itoa(row.Fallbacks),
+			itoa(row.Reengagements),
+			survived,
+		})
+	}
+	flush()
+}

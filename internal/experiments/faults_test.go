@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultSweep checks the PR's acceptance criteria on the full sweep:
+// the supervised MIMO controller survives every fault class (finite
+// plant state, only legal configurations), re-engages after losing the
+// sensors or the actuators, and recovers tracking to within the paper's
+// 15% power guardband once the fault clears.
+func TestFaultSweep(t *testing.T) {
+	res, err := FaultSweep(DefaultSeed, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := FaultClasses(4000)
+	if want := 4 * len(classes); len(res.Rows) != want {
+		t.Fatalf("%d rows, want %d", len(res.Rows), want)
+	}
+	const supMIMO = "Supervised(MIMO)"
+	for _, fc := range classes {
+		row := res.Row(fc.Name, supMIMO)
+		if row == nil {
+			t.Fatalf("missing %s row for %s", supMIMO, fc.Name)
+		}
+		if row.PlantCorrupt {
+			t.Errorf("%s: plant state went non-finite", fc.Name)
+		}
+		if row.IllegalConfigs != 0 {
+			t.Errorf("%s: %d illegal configs reached the harness", fc.Name, row.IllegalConfigs)
+		}
+		if row.PowerErrPct > 15 {
+			t.Errorf("%s: recovery power error %.1f%% exceeds the 15%% band", fc.Name, row.PowerErrPct)
+		}
+	}
+	// Dropped and non-finite sensors must be caught by sanitization.
+	for _, class := range []string{"sensor-dropout", "sensor-nan", "sensor-inf"} {
+		if row := res.Row(class, supMIMO); row.Sanitized == 0 {
+			t.Errorf("%s: no samples sanitized", class)
+		}
+	}
+	// Sustained actuator failure must drive the supervisor to the safe
+	// state, and it must re-engage once Apply succeeds again.
+	ae := res.Row("actuator-apply-error", supMIMO)
+	if ae.Fallbacks < 1 {
+		t.Error("apply-error: supervisor never fell back to the safe state")
+	}
+	if ae.Reengagements < 1 {
+		t.Error("apply-error: supervisor never re-engaged after the fault cleared")
+	}
+	if ae.ApplyFailures == 0 {
+		t.Error("apply-error: no apply failures recorded")
+	}
+	// The supervisor must beat the raw controller under sparse spikes:
+	// sanitization rejects the corrupt samples the raw loop ingests.
+	spikeSup := res.Row("sensor-spike", supMIMO)
+	spikeRaw := res.Row("sensor-spike", "MIMO")
+	if spikeSup.PowerErrPct >= spikeRaw.PowerErrPct {
+		t.Errorf("spikes: supervised power error %.1f%% not better than raw %.1f%%",
+			spikeSup.PowerErrPct, spikeRaw.PowerErrPct)
+	}
+
+	var sb strings.Builder
+	res.WriteText(&sb)
+	for _, want := range []string{"sensor-dropout", "actuator-delay", supMIMO} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("WriteText missing %q", want)
+		}
+	}
+	header, rows := res.Table()
+	for i, r := range rows {
+		if len(r) != len(header) {
+			t.Fatalf("row %d has %d cells for %d columns", i, len(r), len(header))
+		}
+	}
+}

@@ -111,7 +111,7 @@ func (h *Tracker) Step(t sim.Telemetry) sim.Config {
 	}
 	h.observe(t)
 	h.sinceDecision++
-	if h.sinceDecision < h.opts.DecisionEveryEpochs {
+	if !h.haveEMA || h.sinceDecision < h.opts.DecisionEveryEpochs {
 		return h.cur
 	}
 	h.sinceDecision = 0
@@ -155,16 +155,32 @@ func (h *Tracker) Step(t sim.Telemetry) sim.Config {
 	return h.cur
 }
 
+// usable reports whether a sensor reading can enter the rule state: a
+// NaN or Inf sample would poison the EMAs permanently (NaN never decays
+// out of an exponential average), so corrupt samples are skipped and the
+// last good smoothed value stands in — the same last-good substitution
+// the supervised runtime applies (internal/supervisor).
+func usable(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
 func (h *Tracker) observe(t sim.Telemetry) {
 	if !h.haveEMA {
+		if !usable(t.IPS) || !usable(t.PowerW) || !usable(t.L2MPKI) {
+			return
+		}
 		h.emaIPS, h.emaP, h.emaL2 = t.IPS, t.PowerW, t.L2MPKI
 		h.haveEMA = true
 		return
 	}
 	a := h.opts.EMAAlpha
-	h.emaIPS += a * (t.IPS - h.emaIPS)
-	h.emaP += a * (t.PowerW - h.emaP)
-	h.emaL2 += a * (t.L2MPKI - h.emaL2)
+	if usable(t.IPS) {
+		h.emaIPS += a * (t.IPS - h.emaIPS)
+	}
+	if usable(t.PowerW) {
+		h.emaP += a * (t.PowerW - h.emaP)
+	}
+	if usable(t.L2MPKI) {
+		h.emaL2 += a * (t.L2MPKI - h.emaL2)
+	}
 }
 
 // boostIPS grows the most impactful feature for this application class.
@@ -371,13 +387,13 @@ func (s *Searcher) Step(t sim.Telemetry) sim.Config {
 
 	switch s.state {
 	case searchInit:
-		if s.stateEpochs > s.settle {
+		if s.stateEpochs > s.settle && usable(t.IPS) && usable(t.PowerW) && usable(t.L2MPKI) {
 			s.sumIPS += t.IPS
 			s.sumP += t.PowerW
 			s.sumL2 += t.L2MPKI
 			s.sumN++
 		}
-		if s.stateEpochs >= s.settle+s.measure {
+		if s.stateEpochs >= s.settle+s.measure && s.sumN > 0 {
 			ips := s.sumIPS / float64(s.sumN)
 			p := s.sumP / float64(s.sumN)
 			l2 := s.sumL2 / float64(s.sumN)
@@ -403,12 +419,12 @@ func (s *Searcher) Step(t sim.Telemetry) sim.Config {
 		return s.cur
 
 	case searchTrial:
-		if s.stateEpochs > s.settle {
+		if s.stateEpochs > s.settle && usable(t.IPS) && usable(t.PowerW) {
 			s.sumIPS += t.IPS
 			s.sumP += t.PowerW
 			s.sumN++
 		}
-		if s.stateEpochs >= s.settle+s.measure {
+		if s.stateEpochs >= s.settle+s.measure && s.sumN > 0 {
 			ips := s.sumIPS / float64(s.sumN)
 			p := s.sumP / float64(s.sumN)
 			m := s.metric(ips, p)

@@ -97,6 +97,7 @@ type Controller struct {
 	uPrev      []float64 // last issued input (deviation coordinates)
 	zInt       []float64 // integrator states
 	lastExcess []float64 // u_requested - u_applied from the last actuation
+	lastInnov  []float64 // innovation y - C x̂ from the last Step
 	ref        []float64 // current output reference (deviation coordinates)
 	xss        []float64
 	uss        []float64
@@ -296,6 +297,7 @@ func (c *Controller) Reset() {
 	c.uPrev = make([]float64, p.Inputs())
 	c.zInt = make([]float64, p.Outputs())
 	c.lastExcess = make([]float64, p.Inputs())
+	c.lastInnov = make([]float64, p.Outputs())
 	c.ref = make([]float64, p.Outputs())
 	c.xss = make([]float64, p.Order())
 	c.uss = make([]float64, p.Inputs())
@@ -329,6 +331,7 @@ func (c *Controller) Step(y []float64) ([]float64, error) {
 	}
 	// Measurement update: x̂ᶜ = x̂ + Lc (y - C x̂).
 	innov := mat.VecSub(y, mat.MulVec(p.C, c.xhat))
+	c.lastInnov = append(c.lastInnov[:0], innov...)
 	xc := mat.VecAdd(c.xhat, mat.MulVec(c.lc, innov))
 	// Feedback v = -K x̃ with x̃ = [δx; δu_prev; z] (pre-update z, as in
 	// the design dynamics; the DARE gain fixes all signs).
@@ -408,6 +411,15 @@ func (c *Controller) Gains() (kx, ku, kz *mat.Matrix) {
 		kz = c.kz.Clone()
 	}
 	return kx, ku, kz
+}
+
+// LastInnovation returns a copy of the measurement innovation
+// y - C x̂ from the most recent Step (zero before the first step and
+// after Reset). A persistently large innovation relative to the noise
+// covariance means the model no longer explains the measurements — the
+// signal the supervised runtime monitors to detect a sick model.
+func (c *Controller) LastInnovation() []float64 {
+	return append([]float64(nil), c.lastInnov...)
 }
 
 // KalmanGain returns a copy of the filtered-form estimator gain.

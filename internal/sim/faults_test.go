@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func faultTestProc(t *testing.T) *Processor {
+	t.Helper()
+	p, err := NewProcessor(constWorkload{}, ProcessorOptions{Deterministic: true}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// constWorkload is a minimal steady workload for injector tests.
+type constWorkload struct{}
+
+func (constWorkload) Name() string { return "const" }
+func (constWorkload) Params(epoch int) (PhaseParams, int) {
+	return PhaseParams{
+		ILP: 2.0, MemPKI: 80,
+		L1M1: 30, L1Alpha: 0.6, L1Floor: 2,
+		L2M1: 10, L2Alpha: 0.7, L2Floor: 1,
+		BranchMPKI: 2, MLPMax: 3, Activity: 1.0,
+	}, 0
+}
+
+func TestFaultInjectorSensorKinds(t *testing.T) {
+	cases := []struct {
+		name  string
+		fault SensorFault
+		check func(t *testing.T, clean, faulty Telemetry)
+	}{
+		{"dropout-both", SensorFault{Kind: FaultDropout, Channel: ChAll},
+			func(t *testing.T, clean, faulty Telemetry) {
+				if faulty.IPS != 0 || faulty.PowerW != 0 {
+					t.Fatalf("dropout: got %v / %v", faulty.IPS, faulty.PowerW)
+				}
+			}},
+		{"spike-ips", SensorFault{Kind: FaultSpike, Channel: ChIPS},
+			func(t *testing.T, clean, faulty Telemetry) {
+				if math.Abs(faulty.IPS-10*clean.IPS) > 1e-12 {
+					t.Fatalf("spike: got %v, clean %v", faulty.IPS, clean.IPS)
+				}
+				if faulty.PowerW != clean.PowerW {
+					t.Fatalf("spike hit power: %v vs %v", faulty.PowerW, clean.PowerW)
+				}
+			}},
+		{"nan-power", SensorFault{Kind: FaultNaN, Channel: ChPower},
+			func(t *testing.T, clean, faulty Telemetry) {
+				if !math.IsNaN(faulty.PowerW) {
+					t.Fatalf("nan: got %v", faulty.PowerW)
+				}
+				if math.IsNaN(faulty.IPS) {
+					t.Fatal("nan hit IPS channel")
+				}
+			}},
+		{"inf-both", SensorFault{Kind: FaultInf, Channel: ChAll},
+			func(t *testing.T, clean, faulty Telemetry) {
+				if !math.IsInf(faulty.IPS, 1) || !math.IsInf(faulty.PowerW, 1) {
+					t.Fatalf("inf: got %v / %v", faulty.IPS, faulty.PowerW)
+				}
+			}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// A clean twin provides the reference reading: deterministic
+			// plants with equal histories report identical telemetry.
+			clean := faultTestProc(t)
+			inj := NewFaultInjector(faultTestProc(t), 1).AddSensorFault(tc.fault)
+			var cleanTel, tel Telemetry
+			for k := 0; k < 3; k++ {
+				cleanTel = clean.Step()
+				tel = inj.Step()
+			}
+			tc.check(t, cleanTel, tel)
+			// True outputs are never corrupted.
+			if tel.TrueIPS != cleanTel.TrueIPS || tel.TruePowerW != cleanTel.TruePowerW {
+				t.Fatal("fault corrupted the noiseless evaluation outputs")
+			}
+			if inj.Counts().SensorHits == 0 {
+				t.Fatal("no sensor hits counted")
+			}
+		})
+	}
+}
+
+func TestFaultInjectorFreezeHoldsOnsetValue(t *testing.T) {
+	inj := NewFaultInjector(faultTestProc(t), 1).
+		AddSensorFault(SensorFault{Kind: FaultFreeze, Channel: ChAll, From: 2})
+	var onset Telemetry
+	for k := 0; k < 6; k++ {
+		tel := inj.Step()
+		if k == 2 {
+			onset = tel
+		}
+		if k > 2 && (tel.IPS != onset.IPS || tel.PowerW != onset.PowerW) {
+			t.Fatalf("epoch %d: frozen reading moved: %v vs %v", k, tel.IPS, onset.IPS)
+		}
+	}
+}
+
+func TestFaultInjectorDriftAccumulates(t *testing.T) {
+	clean := faultTestProc(t)
+	inj := NewFaultInjector(faultTestProc(t), 1).
+		AddSensorFault(SensorFault{Kind: FaultDrift, Channel: ChPower, Magnitude: 0.01})
+	var cleanTel, tel Telemetry
+	for k := 0; k < 5; k++ {
+		cleanTel = clean.Step()
+		tel = inj.Step()
+	}
+	want := cleanTel.PowerW + 5*0.01
+	if math.Abs(tel.PowerW-want) > 1e-9 {
+		t.Fatalf("drift: got %v, want %v", tel.PowerW, want)
+	}
+}
+
+func TestFaultInjectorWindowAndEvery(t *testing.T) {
+	inj := NewFaultInjector(faultTestProc(t), 1).
+		AddSensorFault(SensorFault{Kind: FaultDropout, Channel: ChIPS, From: 2, Until: 8, Every: 3})
+	fired := []int{}
+	for k := 0; k < 10; k++ {
+		if tel := inj.Step(); tel.IPS == 0 {
+			fired = append(fired, k)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 5 {
+		t.Fatalf("fired at %v, want [2 5]", fired)
+	}
+}
+
+func TestFaultInjectorStochasticDeterministicSeed(t *testing.T) {
+	run := func() []int {
+		inj := NewFaultInjector(faultTestProc(t), 42).
+			AddSensorFault(SensorFault{Kind: FaultDropout, Channel: ChAll, Prob: 0.3})
+		var fired []int
+		for k := 0; k < 50; k++ {
+			if tel := inj.Step(); tel.PowerW == 0 {
+				fired = append(fired, k)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 50 {
+		t.Fatalf("implausible firing count %d for p=0.3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different fault scripts: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestFaultInjectorActuatorError(t *testing.T) {
+	inj := NewFaultInjector(faultTestProc(t), 1).
+		AddActuatorFault(ActuatorFault{Kind: ActError, From: 1, Until: 3})
+	cfg := MidrangeConfig()
+	if err := inj.Apply(cfg); err != nil {
+		t.Fatalf("epoch 0 should apply cleanly: %v", err)
+	}
+	inj.Step()
+	err := inj.Apply(BaselineConfig())
+	var ae *ActuatorError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want ActuatorError, got %v", err)
+	}
+	// The failed apply must not have changed the plant.
+	if inj.Processor().Config() != cfg {
+		t.Fatalf("failed apply changed plant config to %v", inj.Processor().Config())
+	}
+	inj.Step()
+	inj.Step()
+	if err := inj.Apply(BaselineConfig()); err != nil {
+		t.Fatalf("after window: %v", err)
+	}
+	if inj.Counts().ApplyErrors != 1 {
+		t.Fatalf("apply errors %d", inj.Counts().ApplyErrors)
+	}
+}
+
+func TestFaultInjectorStuckKnob(t *testing.T) {
+	inj := NewFaultInjector(faultTestProc(t), 1).
+		AddActuatorFault(ActuatorFault{Kind: ActStuck, Knob: KnobFreq})
+	start := inj.Processor().Config()
+	want := start
+	want.CacheIdx = (start.CacheIdx + 1) % len(CacheSettings)
+	req := want
+	req.FreqIdx = (start.FreqIdx + 3) % len(FreqSettingsGHz)
+	if err := inj.Apply(req); err != nil {
+		t.Fatal(err)
+	}
+	got := inj.Processor().Config()
+	if got.FreqIdx != start.FreqIdx {
+		t.Fatalf("stuck frequency moved: %v", got)
+	}
+	if got.CacheIdx != want.CacheIdx {
+		t.Fatalf("healthy knob blocked: %v", got)
+	}
+	if inj.Counts().StuckWrites != 1 {
+		t.Fatalf("stuck writes %d", inj.Counts().StuckWrites)
+	}
+}
+
+func TestFaultInjectorDelayedActuation(t *testing.T) {
+	inj := NewFaultInjector(faultTestProc(t), 1).
+		AddActuatorFault(ActuatorFault{Kind: ActDelay, DelayEpochs: 2})
+	start := inj.Processor().Config()
+	req := start
+	req.FreqIdx = start.FreqIdx + 1
+	if err := inj.Apply(req); err != nil {
+		t.Fatal(err)
+	}
+	inj.Step() // epoch 0: not yet landed
+	if inj.Processor().Config() != start {
+		t.Fatal("delayed config landed immediately")
+	}
+	inj.Step() // epoch 1: still pending
+	if inj.Processor().Config() != start {
+		t.Fatal("delayed config landed one epoch early")
+	}
+	inj.Step() // epoch 2: due
+	if inj.Processor().Config() != req {
+		t.Fatalf("delayed config never landed: %v", inj.Processor().Config())
+	}
+	if inj.Counts().DelayedApplies != 1 {
+		t.Fatalf("delayed applies %d", inj.Counts().DelayedApplies)
+	}
+}

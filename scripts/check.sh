@@ -1,0 +1,17 @@
+#!/bin/sh
+# Default verify flow: vet, build, race-enabled tests.
+# Run from the repo root: ./scripts/check.sh  (or: make check)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== ok"
