@@ -1,10 +1,16 @@
 GO ?= go
 
-.PHONY: check vet build test race
+.PHONY: check vet build test race bench
 
 # check is the default verify flow: vet + build + race-enabled tests.
 check:
 	./scripts/check.sh
+
+# bench runs the benchmark suite (paper figures + substrate hot paths +
+# telemetry overhead) and writes BENCH_seed.json; see scripts/bench.sh
+# for the BENCH / BENCHTIME / OUT knobs.
+bench:
+	./scripts/bench.sh
 
 vet:
 	$(GO) vet ./...

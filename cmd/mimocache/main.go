@@ -13,19 +13,34 @@ import (
 	"os"
 
 	"mimoctl/internal/sim"
+	"mimoctl/internal/telemetry"
 )
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "trace generator seed")
-		accesses = flag.Int("accesses", 200000, "trace length in accesses")
-		warmup   = flag.Int("warmup", 20000, "accesses used to warm the cache before measuring")
-		wsKB     = flag.Int("ws", 64, "hot working-set size in KiB")
-		cold     = flag.Float64("cold", 0.02, "fraction of cold (streaming) accesses")
-		stride   = flag.Float64("stride", 0.3, "fraction of strided accesses")
-		zipf     = flag.Float64("zipf", 1.2, "Zipf exponent of hot-line reuse (>1)")
+		seed        = flag.Int64("seed", 1, "trace generator seed")
+		accesses    = flag.Int("accesses", 200000, "trace length in accesses")
+		warmup      = flag.Int("warmup", 20000, "accesses used to warm the cache before measuring")
+		wsKB        = flag.Int("ws", 64, "hot working-set size in KiB")
+		cold        = flag.Float64("cold", 0.02, "fraction of cold (streaming) accesses")
+		stride      = flag.Float64("stride", 0.3, "fraction of strided accesses")
+		zipf        = flag.Float64("zipf", 1.2, "Zipf exponent of hot-line reuse (>1)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live diagnostics (/metrics, /debug/pprof) on this address (e.g. :8090); empty disables")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterGoMetrics(reg)
+		sim.SetTelemetry(reg)
+		srv, err := telemetry.StartServer(*metricsAddr, telemetry.ServerOptions{Registry: reg})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "diagnostics on http://%s/ (metrics, debug/pprof)\n", srv.Addr())
+	}
 
 	spec := sim.DefaultTraceSpec()
 	spec.WorkingSetBytes = uint64(*wsKB) << 10

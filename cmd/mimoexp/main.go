@@ -18,18 +18,38 @@ import (
 	"time"
 
 	"mimoctl/internal/experiments"
+	"mimoctl/internal/supervisor"
+	"mimoctl/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run: fig6, fig7, fig8, fig9, fig10, fig11, fig12, edk, ablation, design, faults, all")
-		seed   = flag.Int64("seed", experiments.DefaultSeed, "random seed for all stochastic behaviour")
-		epochs = flag.Int("epochs", 0, "override the experiment's epoch budget (0 = experiment default)")
-		k      = flag.Int("k", 3, "metric exponent for -exp edk: 1 = E, 3 = E×D²")
-		format = flag.String("format", "text", "output format: text or csv")
+		exp         = flag.String("exp", "all", "experiment to run: fig6, fig7, fig8, fig9, fig10, fig11, fig12, edk, ablation, design, faults, all")
+		seed        = flag.Int64("seed", experiments.DefaultSeed, "random seed for all stochastic behaviour")
+		epochs      = flag.Int("epochs", 0, "override the experiment's epoch budget (0 = experiment default)")
+		k           = flag.Int("k", 3, "metric exponent for -exp edk: 1 = E, 3 = E×D²")
+		format      = flag.String("format", "text", "output format: text or csv")
+		metricsAddr = flag.String("metrics-addr", "", "serve live diagnostics (/metrics, /healthz, /debug/pprof) on this address (e.g. :8090); empty disables")
 	)
 	flag.Parse()
 	outputCSV = *format == "csv"
+
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterGoMetrics(reg)
+		// Before any experiment runs: sim processors bind at construction.
+		experiments.EnableTelemetry(reg)
+		srv, err := telemetry.StartServer(*metricsAddr, telemetry.ServerOptions{
+			Registry: reg,
+			Health:   supervisor.Healthz,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "diagnostics on http://%s/ (metrics, healthz, debug/pprof)\n", srv.Addr())
+	}
 
 	runners := map[string]func() error{
 		"fig6":     func() error { return run1(experiments.Fig6(*seed, *epochs)) },

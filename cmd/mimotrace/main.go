@@ -1,39 +1,82 @@
 // Command mimotrace runs one closed-loop experiment and emits a
-// per-epoch CSV trace (epoch, targets, measured and true outputs, knob
+// per-epoch trace (epoch, targets, measured and true outputs, knob
 // settings) for plotting — the raw data behind Figures 6, 11, and 12.
+//
+// The trace flows through the telemetry layer's TraceRecorder: -format
+// selects CSV (default) or JSONL, -every subsamples, and -metrics-addr
+// additionally serves live diagnostics (/metrics, /healthz, /trace,
+// /debug/pprof) while the run is in flight.
 //
 // Examples:
 //
 //	mimotrace -workload namd -arch mimo -epochs 5000 > trace.csv
 //	mimotrace -workload astar -arch heuristic -battery
-//	mimotrace -workload milc -arch decoupled -ips 2.0 -power 1.6
+//	mimotrace -workload milc -arch supervised -format jsonl -metrics-addr :8090
 package main
 
 import (
-	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 
 	"mimoctl/internal/core"
 	"mimoctl/internal/experiments"
 	"mimoctl/internal/sim"
+	"mimoctl/internal/supervisor"
+	"mimoctl/internal/telemetry"
 	"mimoctl/internal/workloads"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "namd", "application to run (SPEC CPU2006 name)")
-		arch     = flag.String("arch", "mimo", "controller: mimo, mimo3, heuristic, decoupled, baseline")
-		epochs   = flag.Int("epochs", 5000, "number of 50 µs control epochs")
-		ips      = flag.Float64("ips", core.DefaultIPSTarget, "IPS target (BIPS)")
-		power    = flag.Float64("power", core.DefaultPowerTarget, "power target (W)")
-		battery  = flag.Bool("battery", false, "drive targets from the battery/QoE scheduler (Fig. 12)")
-		seed     = flag.Int64("seed", experiments.DefaultSeed, "simulation seed")
-		every    = flag.Int("every", 1, "emit every Nth epoch")
+		workload    = flag.String("workload", "namd", "application to run (SPEC CPU2006 name)")
+		arch        = flag.String("arch", "mimo", "controller: mimo, mimo3, heuristic, decoupled, baseline, supervised")
+		epochs      = flag.Int("epochs", 5000, "number of 50 µs control epochs")
+		ips         = flag.Float64("ips", core.DefaultIPSTarget, "IPS target (BIPS)")
+		power       = flag.Float64("power", core.DefaultPowerTarget, "power target (W)")
+		battery     = flag.Bool("battery", false, "drive targets from the battery/QoE scheduler (Fig. 12)")
+		seed        = flag.Int64("seed", experiments.DefaultSeed, "simulation seed")
+		every       = flag.Int("every", 1, "emit every Nth epoch (must be >= 1)")
+		format      = flag.String("format", "csv", "trace format: csv or jsonl")
+		metricsAddr = flag.String("metrics-addr", "", "serve live diagnostics on this address (e.g. :8090); empty disables")
 	)
 	flag.Parse()
+
+	if *every < 1 {
+		fatal(fmt.Errorf("-every must be >= 1, got %d", *every))
+	}
+	var sink telemetry.Sink
+	switch *format {
+	case "csv":
+		sink = telemetry.NewCSVSink(os.Stdout)
+	case "jsonl":
+		sink = telemetry.NewJSONLSink(os.Stdout)
+	default:
+		fatal(fmt.Errorf("unknown -format %q (want csv or jsonl)", *format))
+	}
+	rec, err := telemetry.NewTraceRecorder(telemetry.RecorderOptions{
+		SampleEvery: *every,
+		Sink:        sink,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterGoMetrics(reg)
+		experiments.EnableTelemetry(reg) // before any processor is built
+		srv, err := telemetry.StartServer(*metricsAddr, telemetry.ServerOptions{
+			Registry: reg,
+			Health:   supervisor.Healthz,
+			Trace:    rec,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "diagnostics on http://%s/ (metrics, healthz, trace, debug/pprof)\n", srv.Addr())
+	}
 
 	w, err := workloads.ByName(*workload)
 	if err != nil {
@@ -59,14 +102,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
-	out := csv.NewWriter(os.Stdout)
-	defer out.Flush()
-	header := []string{"epoch", "ips_target", "power_target", "ips_meas", "power_meas",
-		"ips_true", "power_true", "freq_ghz", "l2_ways", "rob", "temp_c", "phase"}
-	if err := out.Write(header); err != nil {
-		fatal(err)
-	}
+	sup, supervised := ctrl.(*supervisor.Supervised)
 
 	tel := proc.Step()
 	for k := 0; k < *epochs; k++ {
@@ -77,22 +113,46 @@ func main() {
 		}
 		cfg := ctrl.Step(tel)
 		if err := proc.Apply(cfg); err != nil {
-			fatal(err)
+			if supervised {
+				// The supervised runtime retries failed actuations and
+				// falls back when they persist; report and continue.
+				sup.ObserveApply(cfg, err)
+			} else {
+				fatal(err)
+			}
+		} else if supervised {
+			sup.ObserveApply(cfg, nil)
 		}
 		tel = proc.Step()
-		if k%*every != 0 {
-			continue
-		}
 		ti, tp := ctrl.Targets()
-		rec := []string{
-			strconv.Itoa(k),
-			f(ti), f(tp), f(tel.IPS), f(tel.PowerW), f(tel.TrueIPS), f(tel.TruePowerW),
-			f(cfg.FreqGHz()), strconv.Itoa(cfg.L2Ways()), strconv.Itoa(cfg.ROBEntries()),
-			f(tel.TempC), strconv.Itoa(tel.PhaseID),
+		ev := telemetry.EpochEvent{
+			Epoch:       k,
+			IPSTarget:   ti,
+			PowerTarget: tp,
+			IPS:         tel.IPS,
+			PowerW:      tel.PowerW,
+			TrueIPS:     tel.TrueIPS,
+			TruePowerW:  tel.TruePowerW,
+			FreqGHz:     cfg.FreqGHz(),
+			L2Ways:      cfg.L2Ways(),
+			ROBEntries:  cfg.ROBEntries(),
+			TempC:       tel.TempC,
+			PhaseID:     tel.PhaseID,
 		}
-		if err := out.Write(rec); err != nil {
-			fatal(err)
+		if ir, ok := ctrl.(supervisor.InnovationReporter); ok {
+			if innov := ir.LastInnovation(); len(innov) >= 2 {
+				ev.InnovIPS, ev.InnovPower = innov[0], innov[1]
+			}
 		}
+		if supervised {
+			ev.Mode = sup.Mode().String()
+		}
+		rec.Record(ev)
+	}
+	// A trace whose tail was silently dropped (full disk, closed pipe)
+	// must not exit 0: Close surfaces the first sink error.
+	if err := rec.Close(); err != nil {
+		fatal(err)
 	}
 }
 
@@ -114,12 +174,16 @@ func buildController(arch string, seed int64) (core.ArchController, error) {
 			return nil, err
 		}
 		return core.NewStaticController(cfg)
+	case "supervised":
+		inner, _, err := experiments.DesignedMIMO(false, seed)
+		if err != nil {
+			return nil, err
+		}
+		return supervisor.New(inner, supervisor.Options{}), nil
 	default:
 		return nil, fmt.Errorf("unknown architecture %q", arch)
 	}
 }
-
-func f(v float64) string { return strconv.FormatFloat(v, 'f', 5, 64) }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)

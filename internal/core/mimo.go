@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"mimoctl/internal/lqg"
 	"mimoctl/internal/sim"
@@ -46,6 +47,7 @@ type MIMOController struct {
 	cur                    sim.Config
 	haveCur                bool
 	health                 Health
+	stepCount              uint64
 }
 
 // NewMIMOController wraps a designed LQG controller. Prefer DesignMIMO,
@@ -92,20 +94,33 @@ func (c *MIMOController) LastInnovation() []float64 { return c.lq.LastInnovation
 // why a reference was rejected. Rejected targets leave the previous
 // references in effect and increment Health.TargetErrors.
 func (c *MIMOController) TrySetTargets(ips, power float64) error {
+	m := ctrlTel.Load()
 	if math.IsNaN(ips) || math.IsInf(ips, 0) || math.IsNaN(power) || math.IsInf(power, 0) {
 		c.health.TargetErrors++
+		if m != nil {
+			m.targetErrors.Inc()
+		}
 		return fmt.Errorf("core: non-finite targets (%v BIPS, %v W)", ips, power)
 	}
 	if ips < 0 || power < 0 {
 		c.health.TargetErrors++
+		if m != nil {
+			m.targetErrors.Inc()
+		}
 		return fmt.Errorf("core: negative targets (%v BIPS, %v W)", ips, power)
 	}
 	ref := []float64{ips - c.off.Y0[0], power - c.off.Y0[1]}
 	if err := c.lq.SetReference(ref); err != nil {
 		c.health.TargetErrors++
+		if m != nil {
+			m.targetErrors.Inc()
+		}
 		return fmt.Errorf("core: reference rejected: %w", err)
 	}
 	c.ipsTarget, c.powerTarget = ips, power
+	if m != nil {
+		m.targetChanges.Inc()
+	}
 	return nil
 }
 
@@ -123,17 +138,55 @@ func (c *MIMOController) Targets() (float64, float64) { return c.ipsTarget, c.po
 // quantization to legal settings, and actuator feedback so the estimator
 // tracks the input actually applied.
 func (c *MIMOController) Step(t sim.Telemetry) sim.Config {
+	// The binding is re-read each step because designed controllers are
+	// memoized and long-lived (see metrics.go). Latency timers fire every
+	// ctrlSampleEvery steps; event counters and innovation histograms are
+	// unconditional.
+	m := ctrlTel.Load()
+	timed := false
+	var t0 time.Time
+	if m != nil {
+		m.steps.Inc()
+		c.stepCount++
+		timed = c.stepCount%ctrlSampleEvery == 0
+		if timed {
+			t0 = time.Now()
+		}
+	}
 	if !c.haveCur {
 		c.cur = t.Config
 		c.haveCur = true
 	}
 	y := []float64{t.IPS - c.off.Y0[0], t.PowerW - c.off.Y0[1]}
-	du, err := c.lq.Step(y)
+	var du []float64
+	var err error
+	if timed {
+		lq0 := time.Now()
+		du, err = c.lq.Step(y)
+		m.lqgSeconds.Observe(time.Since(lq0).Seconds())
+	} else {
+		du, err = c.lq.Step(y)
+	}
 	if err != nil {
 		// Dimensions are fixed at construction; count the event and
 		// hold the current config if the impossible happens.
 		c.health.StepErrors++
+		if m != nil {
+			m.stepErrors.Inc()
+		}
 		return c.cur
+	}
+	if m != nil {
+		if innov := c.lq.LastInnovation(); len(innov) >= 2 {
+			m.innovIPS.Observe(math.Abs(innov[0]))
+			m.innovPower.Observe(math.Abs(innov[1]))
+		}
+		if c.ipsTarget > 0 {
+			m.trackErrIPS.Set(math.Abs(t.IPS-c.ipsTarget) / c.ipsTarget)
+		}
+		if c.powerTarget > 0 {
+			m.trackErrPower.Set(math.Abs(t.PowerW-c.powerTarget) / c.powerTarget)
+		}
 	}
 	// Deviation -> absolute knob units.
 	u := make([]float64, len(du))
@@ -151,6 +204,12 @@ func (c *MIMOController) Step(t sim.Telemetry) sim.Config {
 		c.cur = cfg
 	} else {
 		c.health.FeedbackErrors++
+		if m != nil {
+			m.feedbackErrors.Inc()
+		}
+	}
+	if timed {
+		m.stepSeconds.Observe(time.Since(t0).Seconds())
 	}
 	return c.cur
 }

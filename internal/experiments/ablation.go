@@ -69,6 +69,7 @@ func Ablation(seed int64, epochs int) (*AblationResult, error) {
 			IPSErrPct: sumI / float64(n), PowerErrPct: sumP / float64(n),
 		})
 	}
+	markFigureDone("ablation")
 	return res, nil
 }
 

@@ -165,6 +165,7 @@ func RunTracking(ctrl core.ArchController, w sim.Workload, seed int64, epochs, s
 			n++
 		}
 	}
+	countEpochs(epochs)
 	e, instr, secs := proc.Totals()
 	if n == 0 {
 		n = 1
@@ -201,6 +202,7 @@ func RunEnergy(ctrl core.ArchController, w sim.Workload, seed int64, epochs, war
 		}
 		tel = proc.Step()
 	}
+	countEpochs(warm + epochs)
 	e, instr, secs := proc.Totals()
 	return sim.EnergyDelayProduct(e, instr, secs, k), nil
 }

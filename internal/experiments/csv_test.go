@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// tabStub is a minimal Tabular for exercising WriteCSV directly.
+type tabStub struct {
+	header []string
+	rows   [][]string
+}
+
+func (t tabStub) Table() ([]string, [][]string) { return t.header, t.rows }
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	in := tabStub{
+		header: []string{"workload", "arch", "value"},
+		rows: [][]string{
+			{"namd", "MIMO", "0.8412"},
+			{"astar", "Heuristic", "0.9731"},
+		},
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d records, want 3", len(got))
+	}
+	want := append([][]string{in.header}, in.rows...)
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("record %d col %d = %q, want %q", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestWriteCSVQuoting(t *testing.T) {
+	in := tabStub{
+		header: []string{"label", "note"},
+		rows:   [][]string{{`has,comma`, "has \"quotes\" and\nnewline"}},
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1][0] != "has,comma" || got[1][1] != "has \"quotes\" and\nnewline" {
+		t.Fatalf("quoting not round-trip safe: %q", got[1])
+	}
+}
+
+// failAfterWriter errors once n bytes have been accepted, modeling a
+// full disk / closed pipe partway through a large export.
+type failAfterWriter struct {
+	n       int
+	written int
+}
+
+var errSink = errors.New("sink failed")
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		return 0, errSink
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestWriteCSVPropagatesWriterError(t *testing.T) {
+	rows := make([][]string, 64)
+	for i := range rows {
+		rows[i] = []string{"some", "filler", "row", "data"}
+	}
+	in := tabStub{header: []string{"a", "b", "c", "d"}, rows: rows}
+	if err := WriteCSV(&failAfterWriter{n: 100}, in); err == nil {
+		t.Fatal("WriteCSV must surface the writer error, got nil")
+	}
+}
+
+func TestResultTablesAreWellFormed(t *testing.T) {
+	// Every result type's Table() must yield rows matching the header
+	// width — csv.Writer accepts ragged rows, so downstream parsers are
+	// the ones that break. Use cheap hand-built results.
+	cases := []Tabular{
+		&Fig6Result{Points: []Fig6Point{{Set: Fig6WeightSets()[0], Converged: true}}},
+		&Fig7Result{Points: []Fig7Point{{Dimension: 4}}},
+		&Fig8Result{High: []Fig8Point{{Workload: "namd"}}, Low: []Fig8Point{{Workload: "namd"}}},
+		&Fig11Result{Rows: []Fig11Row{{Workload: "namd", Arch: "MIMO"}}},
+		&Fig12Result{Traces: []Fig12Trace{{Workload: "astar", Arch: "MIMO", Epochs: []int{0}, RefPct: []float64{100}, IPSPct: []float64{98}}}},
+		&EnergyResult{K: 2, Rows: []EnergyRow{{Workload: "namd", Arch: "MIMO", Normalized: 0.84}}},
+		&AblationResult{Rows: []AblationRow{{Variant: "full"}}},
+		&FaultSweepResult{Rows: []FaultRow{{Class: "nan_ips", Arch: "MIMO"}}},
+	}
+	for _, tab := range cases {
+		header, rows := tab.Table()
+		if len(header) == 0 {
+			t.Fatalf("%T: empty header", tab)
+		}
+		for i, r := range rows {
+			if len(r) != len(header) {
+				t.Fatalf("%T row %d has %d cells, header has %d", tab, i, len(r), len(header))
+			}
+		}
+		var sb strings.Builder
+		if err := WriteCSV(&sb, tab); err != nil {
+			t.Fatalf("%T: WriteCSV: %v", tab, err)
+		}
+		if !strings.HasPrefix(sb.String(), strings.Join(header, ",")) {
+			t.Fatalf("%T: output does not start with header", tab)
+		}
+	}
+}

@@ -125,6 +125,7 @@ func FaultSweep(seed int64, epochs int) (*FaultSweepResult, error) {
 			res.Rows = append(res.Rows, row)
 		}
 	}
+	markFigureDone("faultsweep")
 	return res, nil
 }
 
@@ -184,6 +185,7 @@ func runFaulted(ctrl core.ArchController, w sim.Workload, fc FaultClass, seed in
 			rN++
 		}
 	}
+	countEpochs(epochs)
 	if fN > 0 {
 		row.FaultPowerErrPct = 100 * fSumP / float64(fN)
 		row.FaultIPSErrPct = 100 * fSumI / float64(fN)

@@ -65,6 +65,7 @@ func Fig11(seed int64, epochs int) (*Fig11Result, error) {
 			})
 		}
 	}
+	markFigureDone("fig11")
 	return res, nil
 }
 

@@ -67,6 +67,7 @@ func Fig12(seed int64, epochs, sampleEvery int) (*Fig12Result, error) {
 			res.Traces = append(res.Traces, trace)
 		}
 	}
+	markFigureDone("fig12")
 	return res, nil
 }
 
@@ -109,6 +110,7 @@ func fig12Run(ctrl core.ArchController, w sim.Workload, seed int64, epochs, samp
 			trace.IPSPct = append(trace.IPSPct, 100*tel.TrueIPS/core.DefaultIPSTarget)
 		}
 	}
+	countEpochs(epochs)
 	if n > 0 {
 		trace.MeanAbsErrPct = 100 * sumErr / float64(n)
 	}

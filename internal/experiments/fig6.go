@@ -112,6 +112,7 @@ func Fig6(seed int64, epochs int) (*Fig6Result, error) {
 				n++
 			}
 		}
+		countEpochs(epochs)
 		point.EpochsSteadyFreq = SteadyStateEpochEMA(freqSeries, 0.05, 1.0)
 		point.EpochsSteadyCache = SteadyStateEpochEMA(cacheSeries, 0.05, 0.6)
 		point.IPSErrPct = 100 * sumIErr / float64(n)
@@ -123,6 +124,7 @@ func Fig6(seed int64, epochs int) (*Fig6Result, error) {
 			point.EpochsSteadyCache < epochs && point.PowerErrPct <= 10
 		res.Points = append(res.Points, point)
 	}
+	markFigureDone("fig6")
 	return res, nil
 }
 

@@ -89,6 +89,7 @@ func Fig7(seed int64, maxDim int) (*Fig7Result, error) {
 		point.FitPowerPct = mean(fitP)
 		res.Points = append(res.Points, point)
 	}
+	markFigureDone("fig7")
 	return res, nil
 }
 

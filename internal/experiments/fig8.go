@@ -67,6 +67,7 @@ func Fig8(seed int64, epochs int) (*Fig8Result, error) {
 		res.High = append(res.High, hp)
 		res.Low = append(res.Low, lp)
 	}
+	markFigureDone("fig8")
 	return res, nil
 }
 
@@ -89,6 +90,7 @@ func fig8Run(ctrl *core.MIMOController, w sim.Workload, seed int64, epochs int) 
 		freqSeries = append(freqSeries, cfg.FreqIdx)
 		cacheSeries = append(cacheSeries, cfg.CacheIdx)
 	}
+	countEpochs(epochs)
 	return Fig8Point{
 		Workload:          w.Name(),
 		EpochsSteadyFreq:  SteadyStateEpoch(freqSeries, 1),

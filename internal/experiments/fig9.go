@@ -38,17 +38,29 @@ type EnergyResult struct {
 
 // Fig9 runs the 2-input E×D minimization. epochs <= 0 selects 12000.
 func Fig9(seed int64, epochs int) (*EnergyResult, error) {
-	return runEnergyExperiment(seed, epochs, 2, false)
+	res, err := runEnergyExperiment(seed, epochs, 2, false)
+	if err == nil {
+		markFigureDone("fig9")
+	}
+	return res, err
 }
 
 // Fig10 runs the 3-input E×D minimization (no Decoupled).
 func Fig10(seed int64, epochs int) (*EnergyResult, error) {
-	return runEnergyExperiment(seed, epochs, 2, true)
+	res, err := runEnergyExperiment(seed, epochs, 2, true)
+	if err == nil {
+		markFigureDone("fig10")
+	}
+	return res, err
 }
 
 // TableEDK runs the §VIII-F metrics: k=1 (energy) or k=3 (E×D²), 2-input.
 func TableEDK(seed int64, epochs, k int) (*EnergyResult, error) {
-	return runEnergyExperiment(seed, epochs, k, false)
+	res, err := runEnergyExperiment(seed, epochs, k, false)
+	if err == nil {
+		markFigureDone(fmt.Sprintf("table_ed%d", k))
+	}
+	return res, err
 }
 
 func runEnergyExperiment(seed int64, epochs, k int, threeInput bool) (*EnergyResult, error) {

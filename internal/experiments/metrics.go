@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"mimoctl/internal/core"
+	"mimoctl/internal/sim"
+	"mimoctl/internal/supervisor"
+	"mimoctl/internal/telemetry"
+)
+
+// Telemetry instrumentation for the experiment harness. EnableTelemetry
+// is the single switch a binary flips: it cascades the registry to the
+// plant, controller, and supervisor layers (sim processors bind at
+// construction, so call it before running anything) and registers the
+// harness-level progress metrics.
+
+type expMetrics struct {
+	// reg is kept for the per-figure labeled counters, which are
+	// created lazily when a figure completes (the label set is open).
+	reg    *telemetry.Registry
+	epochs telemetry.Counter
+}
+
+var expTel atomic.Pointer[expMetrics]
+
+// EnableTelemetry binds every instrumented layer to one registry. Pass
+// nil to disable instrumentation everywhere (the seed behaviour).
+func EnableTelemetry(reg *telemetry.Registry) {
+	sim.SetTelemetry(reg)
+	core.SetTelemetry(reg)
+	supervisor.SetTelemetry(reg)
+	if reg == nil {
+		expTel.Store(nil)
+		return
+	}
+	expTel.Store(&expMetrics{
+		reg:    reg,
+		epochs: reg.Counter("experiments_epochs_total", "closed-loop control epochs driven by the harness"),
+	})
+}
+
+// countEpochs records closed-loop epochs driven by a Run* helper or a
+// figure's custom loop.
+func countEpochs(n int) {
+	if m := expTel.Load(); m != nil && n > 0 {
+		m.epochs.Add(uint64(n))
+	}
+}
+
+// markFigureDone records the successful completion of one figure/table
+// reproduction.
+func markFigureDone(name string) {
+	if m := expTel.Load(); m != nil {
+		m.reg.Counter("experiments_figures_completed_total",
+			"figure/table reproductions completed", telemetry.L("figure", name)).Inc()
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"time"
 )
 
 // Telemetry is what the sensors report at the end of each 50 µs epoch.
@@ -92,6 +93,11 @@ type Processor struct {
 	totalEnergyJ float64
 	totalInstr   float64
 	totalSeconds float64
+
+	// Telemetry binding (nil when uninstrumented) and the flush marks
+	// for the cumulative float counters.
+	met                   *procMetrics
+	metEnergy0, metInstr0 float64
 }
 
 // NewProcessor builds a processor running the given workload from the
@@ -106,6 +112,7 @@ func NewProcessor(w Workload, opts ProcessorOptions, seed int64) (*Processor, er
 		opts:     opts,
 		rng:      rand.New(rand.NewSource(seed)),
 		tempC:    tempAmbientC + 10,
+		met:      procTel.Load(),
 	}, nil
 }
 
@@ -124,21 +131,33 @@ func (p *Processor) Epoch() int { return p.epoch }
 // lose their contents; re-enabled ways come back cold).
 func (p *Processor) Apply(cfg Config) error {
 	if err := cfg.Validate(); err != nil {
+		if p.met != nil {
+			p.met.applyInvalid.Inc()
+		}
 		return err
 	}
 	if cfg.FreqIdx != p.cfg.FreqIdx {
 		p.dvfsStall = true
+		if p.met != nil {
+			p.met.dvfsTransitions.Inc()
+		}
 	}
 	if cfg.CacheIdx != p.cfg.CacheIdx {
 		dl1 := float64(abs(cfg.L1Ways() - p.cfg.L1Ways()))
 		dl2 := float64(abs(cfg.L2Ways() - p.cfg.L2Ways()))
 		p.warmL1 += 6.0 * dl1
 		p.warmL2 += 2.5 * dl2
+		if p.met != nil {
+			p.met.cacheResizes.Inc()
+		}
 	}
 	if cfg.ROBIdx != p.cfg.ROBIdx {
 		// ROB resizing drains in-flight work: small one-epoch hit
 		// modeled as a tiny warm-up on the L1 path.
 		p.warmL1 += 0.4
+		if p.met != nil {
+			p.met.robResizes.Inc()
+		}
 	}
 	p.cfg = cfg
 	return nil
@@ -161,8 +180,36 @@ func (p *Processor) Step() Telemetry {
 
 // stepWithParams runs one epoch with externally supplied phase
 // parameters; the trace-driven processor uses it to substitute measured
-// miss rates for the analytic curves.
+// miss rates for the analytic curves. The telemetry seam lives here so
+// both the analytic and trace-driven paths are counted: the per-epoch
+// cost is one counter increment, with latency timing and gauge updates
+// sampled every procSampleEvery epochs to keep the hot path within the
+// <5% overhead budget (see BenchmarkProcessorEpochTelemetry).
 func (p *Processor) stepWithParams(params PhaseParams, phaseID int) Telemetry {
+	m := p.met
+	if m == nil {
+		return p.stepCore(params, phaseID)
+	}
+	m.epochs.Inc()
+	if p.epoch%procSampleEvery != 0 {
+		return p.stepCore(params, phaseID)
+	}
+	t0 := time.Now()
+	t := p.stepCore(params, phaseID)
+	m.stepSeconds.Observe(time.Since(t0).Seconds())
+	m.ips.Set(t.IPS)
+	m.power.Set(t.PowerW)
+	m.temp.Set(t.TempC)
+	m.l1mpki.Set(t.L1MPKI)
+	m.l2mpki.Set(t.L2MPKI)
+	m.energyJ.Add(p.totalEnergyJ - p.metEnergy0)
+	m.instructions.Add(p.totalInstr - p.metInstr0)
+	p.metEnergy0, p.metInstr0 = p.totalEnergyJ, p.totalInstr
+	return t
+}
+
+// stepCore is the uninstrumented epoch step.
+func (p *Processor) stepCore(params PhaseParams, phaseID int) Telemetry {
 	// Stochastic workload fluctuation (AR(1) in the log domain) applied
 	// to ILP, memory intensity, and activity.
 	mult := 1.0
@@ -249,6 +296,7 @@ func (p *Processor) Totals() (energyJ, instructions, seconds float64) {
 // ResetTotals clears the cumulative counters (not the dynamic state).
 func (p *Processor) ResetTotals() {
 	p.totalEnergyJ, p.totalInstr, p.totalSeconds = 0, 0, 0
+	p.metEnergy0, p.metInstr0 = 0, 0
 }
 
 // EnergyDelayProduct returns E·D^(k-1) per instruction committed, the

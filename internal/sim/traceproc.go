@@ -123,6 +123,16 @@ func (p *TraceProcessor) Step() Telemetry {
 	for a := 0; a < accesses; a++ {
 		p.hier.Access(p.gen.Next())
 	}
+	if m := p.inner.met; m != nil {
+		// Per-level hit/miss telemetry: stats were reset at the top of
+		// this epoch, so Stats() is exactly this epoch's replay.
+		a1, m1 := p.hier.L1.Stats()
+		a2, m2 := p.hier.L2.Stats()
+		m.l1Accesses.Add(a1)
+		m.l1Misses.Add(m1)
+		m.l2Accesses.Add(a2)
+		m.l2Misses.Add(m2)
+	}
 	l1Rate := p.hier.L1.MissRate()
 	l2Rate := p.hier.L2.MissRate() // of L1 misses
 	// Convert to per-kilo-instruction terms for the interval model.

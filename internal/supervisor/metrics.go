@@ -1,0 +1,87 @@
+package supervisor
+
+import (
+	"sync/atomic"
+
+	"mimoctl/internal/telemetry"
+)
+
+// Telemetry instrumentation for the supervised runtime. The supervisor
+// step is microseconds-scale and its interesting events (mode
+// transitions, sanitization, alarms) are rare, so every hook loads the
+// binding and updates instruments unconditionally — no sampling.
+//
+// All metric families register eagerly in SetTelemetry so a scrape of a
+// healthy run still shows the zero-valued fault counters (the absence
+// of fallbacks is itself the signal).
+
+type supMetrics struct {
+	epochs         telemetry.Counter
+	mode           telemetry.Gauge
+	toFallback     telemetry.Counter
+	toEngaged      telemetry.Counter
+	fallbackEpochs telemetry.Counter
+
+	sanitizedIPS   telemetry.Counter
+	sanitizedPower telemetry.Counter
+
+	deadSensorEpochs telemetry.Counter
+	innovationAlarms telemetry.Counter
+	divergenceAlarms telemetry.Counter
+	illegalConfigs   telemetry.Counter
+	applyFailures    telemetry.Counter
+	applyRetries     telemetry.Counter
+}
+
+var supTel atomic.Pointer[supMetrics]
+
+// currentMode mirrors the most recent mode transition across all live
+// Supervised instances (0 engaged, 1 fallback) for the /healthz
+// endpoint. Last transition wins: with one supervised loop per process
+// — the deployment shape — this is exactly that loop's mode.
+var currentMode atomic.Int32
+
+// SetTelemetry binds the supervisor layer to a metrics registry. Pass
+// nil to disable instrumentation (the seed behaviour).
+func SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		supTel.Store(nil)
+		return
+	}
+	m := &supMetrics{
+		epochs:         reg.Counter("supervisor_epochs_total", "supervised steps executed"),
+		mode:           reg.Gauge("supervisor_mode", "current mode (0 engaged, 1 fallback)"),
+		toFallback:     reg.Counter("supervisor_mode_transitions_total", "mode transitions", telemetry.L("to", "fallback")),
+		toEngaged:      reg.Counter("supervisor_mode_transitions_total", "mode transitions", telemetry.L("to", "engaged")),
+		fallbackEpochs: reg.Counter("supervisor_fallback_epochs_total", "epochs pinned at the safe configuration"),
+
+		sanitizedIPS:   reg.Counter("supervisor_sanitized_total", "substituted sensor samples", telemetry.L("channel", "ips")),
+		sanitizedPower: reg.Counter("supervisor_sanitized_total", "substituted sensor samples", telemetry.L("channel", "power")),
+
+		deadSensorEpochs: reg.Counter("supervisor_dead_sensor_epochs_total", "epochs with a channel past its staleness limit"),
+		innovationAlarms: reg.Counter("supervisor_innovation_alarms_total", "model-health alarms from the Kalman innovation"),
+		divergenceAlarms: reg.Counter("supervisor_divergence_alarms_total", "model-health alarms from the tracking-error trend"),
+		illegalConfigs:   reg.Counter("supervisor_illegal_configs_total", "inner-controller outputs that failed validation"),
+		applyFailures:    reg.Counter("supervisor_apply_failures_total", "failed Apply attempts reported by the harness"),
+		applyRetries:     reg.Counter("supervisor_apply_retries_total", "re-issued actuation requests"),
+	}
+	supTel.Store(m)
+}
+
+// Healthz reports process health for the diagnostics endpoint: healthy
+// while the most recently transitioned supervisor is engaged, unhealthy
+// once one has entered the safe-state fallback.
+func Healthz() (ok bool, detail string) {
+	if currentMode.Load() == int32(ModeFallback) {
+		return false, "supervisor in fallback: pinned at the safe configuration"
+	}
+	return true, "supervisor engaged"
+}
+
+// markMode records a mode for /healthz and the mode gauge.
+func markMode(m *supMetrics, mode Mode) {
+	currentMode.Store(int32(mode))
+	if m != nil {
+		m.mode.Set(float64(mode))
+	}
+}

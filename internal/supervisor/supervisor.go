@@ -262,6 +262,7 @@ func New(inner core.ArchController, opts Options) *Supervised {
 	s := &Supervised{inner: inner, opts: opts.withDefaults(), applyOK: true}
 	s.ipsTarget, s.powerTarget = inner.Targets()
 	s.grace = s.opts.GraceEpochs
+	markMode(supTel.Load(), ModeEngaged)
 	return s
 }
 
@@ -317,6 +318,7 @@ func (s *Supervised) Reset() {
 	s.failStreak, s.backoff, s.holdEpochs = 0, 0, 0
 	s.haveRequested = false
 	s.fallbackEpochs, s.healthyStreak = 0, 0
+	markMode(supTel.Load(), ModeEngaged)
 }
 
 // ObserveApply implements ApplyObserver: the harness reports the
@@ -332,6 +334,9 @@ func (s *Supervised) ObserveApply(cfg sim.Config, err error) {
 	}
 	s.applyOK = false
 	s.health.ApplyFailures++
+	if m := supTel.Load(); m != nil {
+		m.applyFailures.Inc()
+	}
 	s.failStreak++
 	if s.mode == ModeEngaged && s.failStreak >= s.opts.ApplyFallbackAfter {
 		s.enterFallback()
@@ -343,11 +348,18 @@ func (s *Supervised) ObserveApply(cfg sim.Config, err error) {
 // controller (engaged), wait out an actuation backoff, or pin the safe
 // configuration (fallback).
 func (s *Supervised) Step(t sim.Telemetry) sim.Config {
+	m := supTel.Load()
 	s.health.Epochs++
-	clean := s.sanitize(&t)
+	if m != nil {
+		m.epochs.Inc()
+	}
+	clean := s.sanitize(&t, m)
 
 	if s.mode == ModeFallback {
 		s.health.FallbackEpochs++
+		if m != nil {
+			m.fallbackEpochs.Inc()
+		}
 		s.fallbackEpochs++
 		if clean && s.applyOK {
 			s.healthyStreak++
@@ -364,6 +376,9 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 	sick := false
 	if s.staleIPS > s.opts.MaxStaleEpochs || s.stalePower > s.opts.MaxStaleEpochs {
 		s.health.DeadSensorEpochs++
+		if m != nil {
+			m.deadSensorEpochs.Inc()
+		}
 		sick = true
 	}
 	if s.grace > 0 {
@@ -374,6 +389,9 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 				s.emaInnov += s.opts.InnovationAlpha * (v - s.emaInnov)
 				if s.emaInnov > s.opts.InnovationLimit {
 					s.health.InnovationAlarms++
+					if m != nil {
+						m.innovationAlarms.Inc()
+					}
 					sick = true
 				}
 			}
@@ -382,6 +400,9 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 		s.emaErr += s.opts.DivergenceAlpha * (e - s.emaErr)
 		if s.emaErr > s.opts.DivergenceLimit {
 			s.health.DivergenceAlarms++
+			if m != nil {
+				m.divergenceAlarms.Inc()
+			}
 			sick = true
 		}
 	}
@@ -404,6 +425,9 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 			return t.Config
 		}
 		s.health.ApplyRetries++
+		if m != nil {
+			m.applyRetries.Inc()
+		}
 		if s.backoff == 0 {
 			s.backoff = 1
 		} else if s.backoff < s.opts.ApplyBackoffLimit {
@@ -418,6 +442,9 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 		// An illegal request must never reach the hardware: hold the
 		// plant's current (known legal) configuration instead.
 		s.health.IllegalConfigs++
+		if m != nil {
+			m.illegalConfigs.Inc()
+		}
 		cfg = t.Config
 	}
 	s.lastRequested = cfg
@@ -429,7 +456,7 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 // (or the targets before any good reading exists) and maintains the
 // per-channel staleness counters. It reports whether the raw sample was
 // clean on both channels.
-func (s *Supervised) sanitize(t *sim.Telemetry) bool {
+func (s *Supervised) sanitize(t *sim.Telemetry, m *supMetrics) bool {
 	ipsOK := plausible(t.IPS, s.opts.MinIPS, s.opts.MaxIPS)
 	powerOK := plausible(t.PowerW, s.opts.MinPowerW, s.opts.MaxPowerW)
 	if ipsOK {
@@ -437,6 +464,9 @@ func (s *Supervised) sanitize(t *sim.Telemetry) bool {
 		s.staleIPS = 0
 	} else {
 		s.health.SanitizedIPS++
+		if m != nil {
+			m.sanitizedIPS.Inc()
+		}
 		s.staleIPS++
 		if s.haveGood {
 			t.IPS = s.goodIPS
@@ -449,6 +479,9 @@ func (s *Supervised) sanitize(t *sim.Telemetry) bool {
 		s.stalePower = 0
 	} else {
 		s.health.SanitizedPower++
+		if m != nil {
+			m.sanitizedPower.Inc()
+		}
 		s.stalePower++
 		if s.haveGood {
 			t.PowerW = s.goodPower
@@ -508,6 +541,11 @@ func (s *Supervised) relError(t sim.Telemetry) float64 {
 func (s *Supervised) enterFallback() {
 	s.mode = ModeFallback
 	s.health.Fallbacks++
+	m := supTel.Load()
+	if m != nil {
+		m.toFallback.Inc()
+	}
+	markMode(m, ModeFallback)
 	s.fallbackEpochs = 0
 	s.healthyStreak = 0
 	s.sickStreak = 0
@@ -523,6 +561,11 @@ func (s *Supervised) reengage() {
 	s.inner.SetTargets(s.ipsTarget, s.powerTarget)
 	s.mode = ModeEngaged
 	s.health.Reengagements++
+	m := supTel.Load()
+	if m != nil {
+		m.toEngaged.Inc()
+	}
+	markMode(m, ModeEngaged)
 	s.grace = s.opts.GraceEpochs
 	s.emaInnov, s.emaErr = 0, 0
 	s.sickStreak = 0

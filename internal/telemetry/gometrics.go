@@ -1,0 +1,28 @@
+package telemetry
+
+import "runtime"
+
+// RegisterGoMetrics adds process-level Go runtime gauges (goroutines,
+// heap, GC) to the registry, evaluated at scrape time. ReadMemStats
+// briefly stops the world, which is invisible at scrape cadence.
+func RegisterGoMetrics(r *Registry) {
+	if !r.Enabled() {
+		return
+	}
+	r.GaugeFunc("go_goroutines", "number of live goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	mem := func(pick func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return pick(&ms)
+		}
+	}
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "bytes of allocated heap objects",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.HeapAlloc) }))
+	r.GaugeFunc("go_memstats_sys_bytes", "bytes obtained from the OS",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.Sys) }))
+	r.GaugeFunc("go_memstats_gc_total", "completed GC cycles",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.NumGC) }))
+}

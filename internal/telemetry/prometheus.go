@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4). Families appear in
+// registration order; instruments within a family in their own
+// registration order, so scrapes are deterministic and diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if !r.Enabled() {
+		return nil
+	}
+	var sb strings.Builder
+	r.mu.Lock()
+	families := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		families = append(families, r.families[name])
+	}
+	r.mu.Unlock()
+	for _, f := range families {
+		sb.WriteString("# HELP ")
+		sb.WriteString(f.name)
+		sb.WriteByte(' ')
+		sb.WriteString(escapeHelp(f.help))
+		sb.WriteByte('\n')
+		sb.WriteString("# TYPE ")
+		sb.WriteString(f.name)
+		sb.WriteByte(' ')
+		sb.WriteString(f.typ)
+		sb.WriteByte('\n')
+		// Snapshot the instrument list under the lock; rendering reads
+		// only atomics, so it happens outside.
+		r.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		insts := make([]renderable, len(keys))
+		for i, k := range keys {
+			insts[i] = f.insts[k]
+		}
+		r.mu.Unlock()
+		for i, inst := range insts {
+			inst.render(&sb, f.name, keys[i])
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// writeSample emits one exposition line: name{labels} value.
+func writeSample(sb *strings.Builder, name, labels, value string) {
+	sb.WriteString(name)
+	sb.WriteString(labels)
+	sb.WriteByte(' ')
+	sb.WriteString(value)
+	sb.WriteByte('\n')
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

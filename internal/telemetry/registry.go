@@ -1,0 +1,385 @@
+// Package telemetry is the observability substrate for the whole
+// system: a dependency-free (standard library only) metrics registry,
+// a per-epoch trace recorder, and a live diagnostics HTTP server.
+//
+// The design constraints come from the control loop it watches: one
+// epoch is 50 µs and the simulated step costs a few hundred
+// nanoseconds, so the instrumentation hot path must be a handful of
+// uncontended atomic operations at most. Three tiers are supported:
+//
+//   - uninstrumented: packages that were never handed a registry skip
+//     telemetry entirely (a single nil check per step),
+//   - nop registry (Nop()): instruments exist but their methods are
+//     empty — the cost of the call sites themselves, used to prove the
+//     instrumentation seams are free,
+//   - live registry (NewRegistry()): lock-free atomic counters, gauges,
+//     and fixed-bucket histograms, exposed in Prometheus text format.
+//
+// Registration (creating instruments) takes a mutex and may allocate;
+// the observation paths (Inc, Add, Set, Observe) never lock, never
+// allocate, and are safe for concurrent use, including under the race
+// detector while an HTTP scrape renders the registry.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter interface {
+	Inc()
+	Add(delta uint64)
+	Value() uint64
+}
+
+// FloatCounter is a monotonically increasing float metric, for
+// accumulated physical quantities (joules, instructions, seconds).
+type FloatCounter interface {
+	Add(delta float64)
+	Value() float64
+}
+
+// Gauge is a metric that can go up and down (last observed value).
+type Gauge interface {
+	Set(v float64)
+	Add(delta float64)
+	Value() float64
+}
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram interface {
+	Observe(v float64)
+	Snapshot() HistogramSnapshot
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram. Counts are
+// per-bucket (not cumulative); Buckets holds the inclusive upper
+// bounds, with the implicit +Inf bucket as the final count.
+type HistogramSnapshot struct {
+	Buckets []float64
+	Counts  []uint64 // len(Buckets)+1
+	Sum     float64
+	Count   uint64
+}
+
+// Label is one constant name="value" pair attached to an instrument.
+type Label struct{ Name, Value string }
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Registry holds instrument families and renders them for scraping.
+// A nil *Registry and the Nop() registry are both valid: every
+// constructor returns a no-op instrument and WritePrometheus writes
+// nothing, so instrumented code never needs nil checks.
+type Registry struct {
+	nop bool
+
+	mu       sync.Mutex
+	order    []string // family registration order
+	families map[string]*family
+}
+
+type family struct {
+	name, help, typ string
+	order           []string // instrument key order
+	insts           map[string]renderable
+}
+
+// renderable is an instrument (or func gauge) that can render its
+// exposition lines.
+type renderable interface {
+	render(sb *strings.Builder, name, labels string)
+}
+
+// NewRegistry returns an empty live registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// nopRegistry is the shared disabled registry.
+var nopRegistry = &Registry{nop: true}
+
+// Nop returns a registry whose instruments are all no-ops. Use it to
+// measure the cost of instrumentation seams without collecting anything.
+func Nop() *Registry { return nopRegistry }
+
+// Enabled reports whether the registry actually collects.
+func (r *Registry) Enabled() bool { return r != nil && !r.nop }
+
+// Counter registers (or fetches) a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) Counter {
+	if !r.Enabled() {
+		return nopCounter{}
+	}
+	c := &counter{}
+	return r.register(name, help, "counter", labels, c).(Counter)
+}
+
+// FloatCounter registers (or fetches) a float counter.
+func (r *Registry) FloatCounter(name, help string, labels ...Label) FloatCounter {
+	if !r.Enabled() {
+		return nopFloat{}
+	}
+	c := &floatCounter{}
+	return r.register(name, help, "counter", labels, c).(FloatCounter)
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) Gauge {
+	if !r.Enabled() {
+		return nopFloat{}
+	}
+	g := &gauge{}
+	return r.register(name, help, "gauge", labels, g).(Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time by
+// fn. The function must be safe to call from the scrape goroutine; use
+// it only over immutable or atomically read state.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if !r.Enabled() {
+		return
+	}
+	r.register(name, help, "gauge", labels, funcGauge(fn))
+}
+
+// Histogram registers (or fetches) a histogram with the given inclusive
+// bucket upper bounds (ascending; the +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) Histogram {
+	if !r.Enabled() {
+		return nopFloat{}
+	}
+	if len(buckets) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic("telemetry: histogram buckets must be ascending")
+	}
+	b := append([]float64(nil), buckets...)
+	h := &histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	return r.register(name, help, "histogram", labels, h).(Histogram)
+}
+
+// register adds inst under (name, labels), returning the existing
+// instrument when one is already registered with the same identity.
+// Registering the same name with a different metric type is a
+// programming error and panics.
+func (r *Registry) register(name, help, typ string, labels []Label, inst renderable) renderable {
+	checkName(name)
+	for _, l := range labels {
+		checkName(l.Name)
+	}
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, insts: make(map[string]renderable)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	if have, ok := f.insts[key]; ok {
+		return have
+	}
+	f.insts[key] = inst
+	f.order = append(f.order, key)
+	return inst
+}
+
+// checkName enforces the Prometheus metric/label name charset.
+func checkName(name string) {
+	if name == "" {
+		panic("telemetry: empty metric or label name")
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			panic(fmt.Sprintf("telemetry: invalid metric or label name %q", name))
+		}
+	}
+}
+
+// renderLabels builds the canonical {k="v",...} string ("" when empty).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(c)
+		}
+	}
+	return sb.String()
+}
+
+// ---- concrete instruments ----
+
+type counter struct{ v atomic.Uint64 }
+
+func (c *counter) Inc()             { c.v.Add(1) }
+func (c *counter) Add(delta uint64) { c.v.Add(delta) }
+func (c *counter) Value() uint64    { return c.v.Load() }
+func (c *counter) render(sb *strings.Builder, name, labels string) {
+	writeSample(sb, name, labels, formatUint(c.Value()))
+}
+
+type floatCounter struct{ bits atomic.Uint64 }
+
+func (c *floatCounter) Add(delta float64) { atomicAddFloat(&c.bits, delta) }
+func (c *floatCounter) Value() float64    { return math.Float64frombits(c.bits.Load()) }
+func (c *floatCounter) render(sb *strings.Builder, name, labels string) {
+	writeSample(sb, name, labels, formatFloat(c.Value()))
+}
+
+type gauge struct{ bits atomic.Uint64 }
+
+func (g *gauge) Set(v float64)     { g.bits.Store(math.Float64bits(v)) }
+func (g *gauge) Add(delta float64) { atomicAddFloat(&g.bits, delta) }
+func (g *gauge) Value() float64    { return math.Float64frombits(g.bits.Load()) }
+func (g *gauge) render(sb *strings.Builder, name, labels string) {
+	writeSample(sb, name, labels, formatFloat(g.Value()))
+}
+
+type funcGauge func() float64
+
+func (f funcGauge) render(sb *strings.Builder, name, labels string) {
+	writeSample(sb, name, labels, formatFloat(f()))
+}
+
+// atomicAddFloat adds delta to a float64 stored as bits, lock-free.
+func atomicAddFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+type histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // per-bucket, +Inf last
+	sum    atomic.Uint64   // float64 bits
+}
+
+// Observe is lock-free: a linear scan over the (small, fixed) bound
+// slice, one atomic add, and one atomic float accumulate.
+func (h *histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	atomicAddFloat(&h.sum, v)
+}
+
+func (h *histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Buckets: append([]float64(nil), h.bounds...),
+		Counts:  make([]uint64, len(h.counts)),
+		Sum:     math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+func (h *histogram) render(sb *strings.Builder, name, labels string) {
+	s := h.Snapshot()
+	cum := uint64(0)
+	for i, b := range s.Buckets {
+		cum += s.Counts[i]
+		writeSample(sb, name+"_bucket", withLE(labels, formatFloat(b)), formatUint(cum))
+	}
+	cum += s.Counts[len(s.Counts)-1]
+	writeSample(sb, name+"_bucket", withLE(labels, "+Inf"), formatUint(cum))
+	writeSample(sb, name+"_sum", labels, formatFloat(s.Sum))
+	writeSample(sb, name+"_count", labels, formatUint(s.Count))
+}
+
+// withLE appends the le label to an already-rendered label string.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// nopCounter and nopFloat are the disabled instruments: empty methods
+// the compiler can devirtualize into nothing at the call sites.
+type nopCounter struct{}
+
+func (nopCounter) Inc()          {}
+func (nopCounter) Add(uint64)    {}
+func (nopCounter) Value() uint64 { return 0 }
+
+type nopFloat struct{}
+
+func (nopFloat) Set(float64)                 {}
+func (nopFloat) Add(float64)                 {}
+func (nopFloat) Value() float64              { return 0 }
+func (nopFloat) Observe(float64)             {}
+func (nopFloat) Snapshot() HistogramSnapshot { return HistogramSnapshot{} }
+
+// ---- bucket helpers ----
+
+// LinearBuckets returns count bounds: start, start+width, ...
+func LinearBuckets(start, width float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns count bounds: start, start*factor, ...
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

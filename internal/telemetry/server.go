@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// HealthFunc reports liveness for /healthz: ok=false turns the endpoint
+// into a 503. The detail string is included in the body either way.
+type HealthFunc func() (ok bool, detail string)
+
+// ServerOptions wires the diagnostics endpoints.
+type ServerOptions struct {
+	// Registry backs /metrics. A nil or Nop registry serves an empty
+	// (but valid) exposition.
+	Registry *Registry
+	// Health backs /healthz; nil means always healthy.
+	Health HealthFunc
+	// Trace, when non-nil, adds /trace serving the recorder's ring as
+	// JSONL (add ?format=csv for CSV).
+	Trace *TraceRecorder
+}
+
+// Server is a live diagnostics HTTP server:
+//
+//	/metrics     Prometheus text exposition of the registry
+//	/healthz     200/503 from the HealthFunc (supervisor mode)
+//	/trace       recent epoch events (JSONL, ?format=csv for CSV)
+//	/debug/vars  expvar JSON
+//	/debug/pprof profiling endpoints
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewMux builds the diagnostics handler without binding a listener, for
+// embedding into an existing server.
+func NewMux(opts ServerOptions) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = opts.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		ok, detail := true, "ok"
+		if opts.Health != nil {
+			ok, detail = opts.Health()
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintln(w, detail)
+	})
+	if opts.Trace != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+			if req.URL.Query().Get("format") == "csv" {
+				w.Header().Set("Content-Type", "text/csv")
+				_ = opts.Trace.WriteCSV(w)
+				return
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = opts.Trace.WriteJSONL(w)
+		})
+	}
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "mimoctl diagnostics")
+		fmt.Fprintln(w, "  /metrics      Prometheus text exposition")
+		fmt.Fprintln(w, "  /healthz      liveness (503 while in supervisor fallback)")
+		if opts.Trace != nil {
+			fmt.Fprintln(w, "  /trace        recent epoch events (JSONL; ?format=csv)")
+		}
+		fmt.Fprintln(w, "  /debug/vars   expvar JSON")
+		fmt.Fprintln(w, "  /debug/pprof  profiling")
+	})
+	return mux
+}
+
+// StartServer binds addr (e.g. ":8090" or "127.0.0.1:0") and serves the
+// diagnostics mux in a background goroutine until Close.
+func StartServer(addr string, opts ServerOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           NewMux(opts),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,275 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// EpochEvent is one structured record of the closed loop at the end of
+// a control epoch: what the controller wanted, what the sensors said,
+// what the plant really did, and which knobs were in effect. It is the
+// schema behind every per-epoch trace in the system (cmd/mimotrace,
+// the /trace diagnostics endpoint, experiment debugging).
+type EpochEvent struct {
+	Epoch int `json:"epoch"`
+	// References.
+	IPSTarget   float64 `json:"ips_target"`
+	PowerTarget float64 `json:"power_target"`
+	// Measured (noisy) and true (noiseless) outputs.
+	IPS        float64 `json:"ips_meas"`
+	PowerW     float64 `json:"power_meas"`
+	TrueIPS    float64 `json:"ips_true"`
+	TruePowerW float64 `json:"power_true"`
+	// Knob settings in effect.
+	FreqGHz    float64 `json:"freq_ghz"`
+	L2Ways     int     `json:"l2_ways"`
+	ROBEntries int     `json:"rob"`
+	// Plant side state.
+	TempC   float64 `json:"temp_c"`
+	PhaseID int     `json:"phase"`
+	// Kalman innovation of the last controller step (zero when the
+	// controller does not expose one).
+	InnovIPS   float64 `json:"innov_ips"`
+	InnovPower float64 `json:"innov_power"`
+	// Supervisor mode ("" when unsupervised).
+	Mode string `json:"mode,omitempty"`
+}
+
+// TraceColumns is the CSV column order of an EpochEvent, shared by the
+// CSV sink and any external plotting script.
+var TraceColumns = []string{
+	"epoch", "ips_target", "power_target", "ips_meas", "power_meas",
+	"ips_true", "power_true", "freq_ghz", "l2_ways", "rob",
+	"temp_c", "phase", "innov_ips", "innov_power", "mode",
+}
+
+// row renders the event in TraceColumns order.
+func (e EpochEvent) row() []string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 5, 64) }
+	return []string{
+		strconv.Itoa(e.Epoch),
+		f(e.IPSTarget), f(e.PowerTarget),
+		f(e.IPS), f(e.PowerW), f(e.TrueIPS), f(e.TruePowerW),
+		f(e.FreqGHz), strconv.Itoa(e.L2Ways), strconv.Itoa(e.ROBEntries),
+		f(e.TempC), strconv.Itoa(e.PhaseID),
+		f(e.InnovIPS), f(e.InnovPower), e.Mode,
+	}
+}
+
+// Sink receives sampled epoch events as they are recorded. Sinks are
+// called from the recording goroutine; Close flushes and reports the
+// first write error encountered (so a closed pipe or full disk cannot
+// pass silently).
+type Sink interface {
+	WriteEvent(EpochEvent) error
+	Close() error
+}
+
+// CSVSink streams events as CSV rows (header first).
+type CSVSink struct {
+	w           *csv.Writer
+	wroteHeader bool
+}
+
+// NewCSVSink wraps w in a streaming CSV trace sink.
+func NewCSVSink(w io.Writer) *CSVSink { return &CSVSink{w: csv.NewWriter(w)} }
+
+// WriteEvent implements Sink.
+func (s *CSVSink) WriteEvent(e EpochEvent) error {
+	if !s.wroteHeader {
+		if err := s.w.Write(TraceColumns); err != nil {
+			return err
+		}
+		s.wroteHeader = true
+	}
+	return s.w.Write(e.row())
+}
+
+// Close flushes and surfaces any buffered write error.
+func (s *CSVSink) Close() error {
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// JSONLSink streams events as one JSON object per line.
+type JSONLSink struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLSink wraps w in a streaming JSONL trace sink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// WriteEvent implements Sink.
+func (s *JSONLSink) WriteEvent(e EpochEvent) error { return s.enc.Encode(e) }
+
+// Close flushes the buffer.
+func (s *JSONLSink) Close() error { return s.bw.Flush() }
+
+// RecorderOptions configures a TraceRecorder. The zero value keeps the
+// last 4096 events, samples every epoch, and has no streaming sink.
+type RecorderOptions struct {
+	// Capacity is the ring-buffer size (default 4096, minimum 1).
+	Capacity int
+	// SampleEvery records every Nth offered event (default 1). It must
+	// be positive; NewTraceRecorder rejects other values.
+	SampleEvery int
+	// Sink, when non-nil, additionally receives every sampled event as
+	// it happens (e.g. a CSV stream to stdout).
+	Sink Sink
+}
+
+// TraceRecorder keeps a bounded ring of recent epoch events and
+// optionally streams them to a sink. The ring means a long run can
+// always be inspected live (the /trace endpoint serves it) without
+// unbounded memory; the sink preserves the full (sampled) history.
+//
+// A nil *TraceRecorder is valid and records nothing, so harnesses can
+// wire tracing unconditionally.
+type TraceRecorder struct {
+	mu      sync.Mutex
+	buf     []EpochEvent
+	next    int // ring write position
+	count   int // events currently in the ring
+	every   int
+	seen    uint64 // events offered (pre-sampling)
+	kept    uint64 // events recorded
+	sink    Sink
+	sinkErr error
+}
+
+// NewTraceRecorder builds a recorder. SampleEvery < 0 or == 0 after
+// defaulting is rejected here — this is the guard that keeps a bad
+// sampling flag from panicking deep in a modulo (see cmd/mimotrace).
+func NewTraceRecorder(opts RecorderOptions) (*TraceRecorder, error) {
+	if opts.Capacity <= 0 {
+		opts.Capacity = 4096
+	}
+	if opts.SampleEvery == 0 {
+		opts.SampleEvery = 1
+	}
+	if opts.SampleEvery < 0 {
+		return nil, errString("telemetry: SampleEvery must be positive")
+	}
+	return &TraceRecorder{
+		buf:   make([]EpochEvent, opts.Capacity),
+		every: opts.SampleEvery,
+		sink:  opts.Sink,
+	}, nil
+}
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+// Record offers one event; every SampleEvery-th offer is kept.
+func (r *TraceRecorder) Record(e EpochEvent) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.seen
+	r.seen++
+	if n%uint64(r.every) != 0 {
+		return
+	}
+	r.kept++
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+	if r.sink != nil && r.sinkErr == nil {
+		r.sinkErr = r.sink.WriteEvent(e)
+	}
+}
+
+// Snapshot returns the ring contents in chronological order.
+func (r *TraceRecorder) Snapshot() []EpochEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]EpochEvent, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Stats reports events offered and kept (after sampling).
+func (r *TraceRecorder) Stats() (seen, kept uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen, r.kept
+}
+
+// Err returns the first sink write error, if any.
+func (r *TraceRecorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sinkErr
+}
+
+// Close closes the sink and returns the first error seen on the whole
+// stream (write or flush) — the caller's exit status should depend on
+// it.
+func (r *TraceRecorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sink != nil {
+		if err := r.sink.Close(); err != nil && r.sinkErr == nil {
+			r.sinkErr = err
+		}
+		r.sink = nil
+	}
+	return r.sinkErr
+}
+
+// WriteJSONL renders a snapshot of the ring as JSON lines.
+func (r *TraceRecorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Snapshot() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders a snapshot of the ring as CSV (with header).
+func (r *TraceRecorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(TraceColumns); err != nil {
+		return err
+	}
+	for _, e := range r.Snapshot() {
+		if err := cw.Write(e.row()); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func ev(epoch int) EpochEvent {
+	return EpochEvent{Epoch: epoch, IPS: 2.5, PowerW: 2.0, FreqGHz: 1.4, L2Ways: 4, ROBEntries: 128, Mode: "engaged"}
+}
+
+func TestRecorderRingWraps(t *testing.T) {
+	r, err := NewTraceRecorder(RecorderOptions{Capacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		r.Record(ev(i))
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(snap))
+	}
+	for i, e := range snap {
+		if e.Epoch != 6+i {
+			t.Fatalf("snapshot[%d].Epoch = %d, want %d", i, e.Epoch, 6+i)
+		}
+	}
+	seen, kept := r.Stats()
+	if seen != 10 || kept != 10 {
+		t.Fatalf("stats = (%d, %d), want (10, 10)", seen, kept)
+	}
+}
+
+func TestRecorderSampling(t *testing.T) {
+	r, err := NewTraceRecorder(RecorderOptions{Capacity: 100, SampleEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		r.Record(ev(i))
+	}
+	snap := r.Snapshot()
+	want := []int{0, 3, 6, 9}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot len = %d, want %d", len(snap), len(want))
+	}
+	for i, e := range snap {
+		if e.Epoch != want[i] {
+			t.Fatalf("snapshot[%d].Epoch = %d, want %d", i, e.Epoch, want[i])
+		}
+	}
+}
+
+func TestRecorderRejectsNegativeSampling(t *testing.T) {
+	if _, err := NewTraceRecorder(RecorderOptions{SampleEvery: -1}); err == nil {
+		t.Fatal("want error for negative SampleEvery")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *TraceRecorder
+	r.Record(ev(1))
+	if r.Snapshot() != nil || r.Err() != nil || r.Close() != nil {
+		t.Fatal("nil recorder must be inert")
+	}
+}
+
+func TestCSVSinkStreams(t *testing.T) {
+	var buf bytes.Buffer
+	r, err := NewTraceRecorder(RecorderOptions{Capacity: 2, Sink: NewCSVSink(&buf)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		r.Record(ev(i))
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + all 5 events: the sink is not bounded by the ring.
+	if len(recs) != 6 {
+		t.Fatalf("csv rows = %d, want 6", len(recs))
+	}
+	if strings.Join(recs[0], ",") != strings.Join(TraceColumns, ",") {
+		t.Fatalf("header = %v", recs[0])
+	}
+	if recs[1][0] != "0" || recs[5][0] != "4" {
+		t.Fatalf("rows = %v", recs)
+	}
+}
+
+func TestJSONLSinkAndRingDump(t *testing.T) {
+	var buf bytes.Buffer
+	r, err := NewTraceRecorder(RecorderOptions{Capacity: 8, Sink: NewJSONLSink(&buf)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Record(ev(7))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var e EpochEvent
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Epoch != 7 || e.Mode != "engaged" {
+		t.Fatalf("decoded = %+v", e)
+	}
+
+	var jl bytes.Buffer
+	if err := r.WriteJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(jl.String(), "\n"); got != 1 {
+		t.Fatalf("ring JSONL lines = %d, want 1", got)
+	}
+	var cv bytes.Buffer
+	if err := r.WriteCSV(&cv); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(cv.String(), "\n"); got != 2 {
+		t.Fatalf("ring CSV lines = %d, want 2", got)
+	}
+}
+
+type failWriter struct{ after int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.after--
+	return len(p), nil
+}
+
+func TestSinkErrorSurfacesOnClose(t *testing.T) {
+	r, err := NewTraceRecorder(RecorderOptions{Sink: NewCSVSink(&failWriter{after: 0})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// csv.Writer buffers: errors may only appear at flush time.
+	for i := 0; i < 3000; i++ {
+		r.Record(ev(i))
+	}
+	if err := r.Close(); err == nil {
+		t.Fatal("want sink write error on Close")
+	}
+}

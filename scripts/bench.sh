@@ -1,0 +1,23 @@
+#!/bin/sh
+# Run the benchmark suite and capture machine-readable results.
+#
+#   ./scripts/bench.sh                     # full suite -> BENCH_seed.json
+#   BENCH=Telemetry ./scripts/bench.sh     # only the overhead benches
+#   BENCHTIME=2s OUT=bench.json ./scripts/bench.sh
+#
+# The JSON stream is `go test -json` output: one object per line, with
+# benchmark results in the Output fields of "output" actions. Compare
+# runs with `benchstat` or grep for the ns/op lines directly.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern="${BENCH:-.}"
+benchtime="${BENCHTIME:-1x}"
+out="${OUT:-BENCH_seed.json}"
+
+echo "== go test -bench $pattern -benchtime $benchtime -> $out"
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -json . > "$out"
+
+grep -o '"Output":".*ns/op[^"]*"' "$out" | sed 's/"Output":"//; s/\\t/  /g; s/\\n"//' || true
+echo "== wrote $out"
