@@ -1,10 +1,28 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench cover fuzz golden
 
 # check is the default verify flow: vet + build + race-enabled tests.
 check:
 	./scripts/check.sh
+
+# cover enforces the coverage floor and prints per-package deltas
+# against scripts/coverage_baseline.txt (UPDATE=1 refreshes it).
+cover:
+	./scripts/coverage.sh
+
+# fuzz gives every fuzz target a short exploratory run (CI smoke time);
+# raise FUZZTIME for a deeper local session.
+fuzz:
+	$(GO) test ./internal/sysid/ -run '^$$' -fuzz FuzzPRBS -fuzztime $(or $(FUZZTIME),10s)
+	$(GO) test ./internal/sysid/ -run '^$$' -fuzz FuzzQuantizeTo -fuzztime $(or $(FUZZTIME),10s)
+	$(GO) test ./internal/experiments/ -run '^$$' -fuzz 'FuzzSteadyStateEpoch$$' -fuzztime $(or $(FUZZTIME),10s)
+	$(GO) test ./internal/experiments/ -run '^$$' -fuzz FuzzSteadyStateEpochEMA -fuzztime $(or $(FUZZTIME),10s)
+
+# golden re-records the golden regression CSVs after an intentional
+# output change; review the diff like code.
+golden:
+	$(GO) test ./internal/experiments/ -run TestGolden -update
 
 # bench runs the benchmark suite (paper figures + substrate hot paths +
 # telemetry overhead) and writes BENCH_seed.json; see scripts/bench.sh

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"mimoctl/internal/experiments"
+	"mimoctl/internal/runner"
 	"mimoctl/internal/supervisor"
 	"mimoctl/internal/telemetry"
 )
@@ -29,10 +30,12 @@ func main() {
 		epochs      = flag.Int("epochs", 0, "override the experiment's epoch budget (0 = experiment default)")
 		k           = flag.Int("k", 3, "metric exponent for -exp edk: 1 = E, 3 = E×D²")
 		format      = flag.String("format", "text", "output format: text or csv")
+		parallel    = flag.Int("parallel", runner.DefaultWorkers(), "experiment worker count: 0 = serial, N = pool of N workers (output is byte-identical either way)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live diagnostics (/metrics, /healthz, /debug/pprof) on this address (e.g. :8090); empty disables")
 	)
 	flag.Parse()
 	outputCSV = *format == "csv"
+	experiments.SetParallelism(*parallel)
 
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
@@ -81,7 +84,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+		// Timing goes to stderr: stdout carries only the experiment's
+		// rows, which are byte-identical at any -parallel value.
+		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", name, time.Since(t0).Round(time.Millisecond))
+		fmt.Println()
 	}
 }
 

@@ -214,6 +214,16 @@ func (c *MIMOController) Step(t sim.Telemetry) sim.Config {
 	return c.cur
 }
 
+// Clone returns an independent controller sharing the immutable design
+// (LQG gains, operating-point offsets) with a deep copy of all runtime
+// state. Experiment jobs clone the one memoized design per job so a
+// parallel sweep never steps a shared controller.
+func (c *MIMOController) Clone() *MIMOController {
+	d := *c
+	d.lq = c.lq.Clone()
+	return &d
+}
+
 // Reset implements ArchController.
 func (c *MIMOController) Reset() {
 	c.lq.Reset()

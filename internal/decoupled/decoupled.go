@@ -246,6 +246,16 @@ func (c *Controller) Step(t sim.Telemetry) sim.Config {
 	return c.cur
 }
 
+// Clone returns an independent controller pair sharing the immutable
+// SISO designs with deep-copied runtime state, for parallel experiment
+// jobs that must not step a shared instance.
+func (c *Controller) Clone() *Controller {
+	d := *c
+	d.cacheLoop = c.cacheLoop.Clone()
+	d.freqLoop = c.freqLoop.Clone()
+	return &d
+}
+
 // Reset implements core.ArchController.
 func (c *Controller) Reset() {
 	c.cacheLoop.Reset()

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"mimoctl/internal/core"
+	"mimoctl/internal/runner"
 	"mimoctl/internal/workloads"
 )
 
@@ -42,31 +43,66 @@ func Ablation(seed int64, epochs int) (*AblationResult, error) {
 		{"model dimension 2", func(s *core.DesignSpec) { s.ModelDimension = 2 }},
 		{"model dimension 8", func(s *core.DesignSpec) { s.ModelDimension = 8 }},
 	}
-	res := &AblationResult{Epochs: epochs}
-	for _, v := range variants {
-		spec := core.DesignSpec{Training: TrainingWorkloads(), Seed: seed}
-		if v.mutate != nil {
-			v.mutate(&spec)
-		}
-		ctrl, _, err := core.DesignMIMO(spec)
-		if err != nil {
-			return nil, fmt.Errorf("ablation %q: %w", v.name, err)
-		}
-		var sumI, sumP float64
-		n := 0
-		for _, p := range workloads.ResponsiveSet() {
-			ctrl.SetTargets(core.DefaultIPSTarget, core.DefaultPowerTarget)
-			st, err := RunTracking(ctrl, p, seed+101, epochs, epochs/6)
-			if err != nil {
-				return nil, err
+	// Stage 1: one design job per variant.
+	ctrls := make([]*core.MIMOController, len(variants))
+	design := make([]runner.Job, len(variants))
+	for vi, v := range variants {
+		vi, v := vi, v
+		design[vi] = runner.Job{Label: "ablation/design/" + v.name, Run: func() error {
+			spec := core.DesignSpec{Training: TrainingWorkloads(), Seed: seed}
+			if v.mutate != nil {
+				v.mutate(&spec)
 			}
+			ctrl, _, err := core.DesignMIMO(spec)
+			if err != nil {
+				return fmt.Errorf("ablation %q: %w", v.name, err)
+			}
+			ctrls[vi] = ctrl
+			return nil
+		}}
+	}
+	if err := runPlan(design); err != nil {
+		return nil, err
+	}
+	// Stage 2: one run job per (variant, responsive workload); the sums
+	// are reduced afterwards in canonical workload order so float
+	// summation order never depends on the worker count.
+	apps := workloads.ResponsiveSet()
+	stats := make([]TrackStats, len(variants)*len(apps))
+	run := make([]runner.Job, 0, len(stats))
+	for vi := range variants {
+		for wi, p := range apps {
+			vi, wi, p := vi, wi, p
+			run = append(run, runner.Job{
+				Label: fmt.Sprintf("ablation/%s/%s", variants[vi].name, p.Name()),
+				Run: func() error {
+					ctrl := ctrls[vi].Clone()
+					ctrl.SetTargets(core.DefaultIPSTarget, core.DefaultPowerTarget)
+					st, err := RunTracking(ctrl, p, seed+101, epochs, epochs/6)
+					if err != nil {
+						return err
+					}
+					stats[vi*len(apps)+wi] = st
+					return nil
+				},
+			})
+		}
+	}
+	if err := runPlan(run); err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Epochs: epochs}
+	for vi, v := range variants {
+		var sumI, sumP float64
+		for wi := range apps {
+			st := stats[vi*len(apps)+wi]
 			sumI += st.IPSErrPct
 			sumP += st.PowerErrPct
-			n++
 		}
+		n := float64(len(apps))
 		res.Rows = append(res.Rows, AblationRow{
 			Variant:   v.name,
-			IPSErrPct: sumI / float64(n), PowerErrPct: sumP / float64(n),
+			IPSErrPct: sumI / n, PowerErrPct: sumP / n,
 		})
 	}
 	markFigureDone("ablation")

@@ -39,12 +39,32 @@ func ValidationWorkloads() []sim.Workload {
 	return out
 }
 
-// designCache memoizes expensive design artifacts across experiments.
-var designCache sync.Map
+// designCache memoizes expensive design artifacts across experiments
+// with single-flight semantics: the first caller of a key runs the
+// design, concurrent callers block on it, and every caller — parallel
+// worker or not — receives the same pointer. Keys are per-function
+// struct types, so families can never collide.
+var designCache sync.Map // any (typed key) -> *cacheEntry
+
+type cacheEntry struct {
+	once sync.Once
+	val  any
+}
+
+// designOnce runs f under single-flight for key and returns its memoized
+// result.
+func designOnce[T any](key any, f func() T) T {
+	e, _ := designCache.LoadOrStore(key, &cacheEntry{})
+	entry := e.(*cacheEntry)
+	entry.once.Do(func() { entry.val = f() })
+	return entry.val.(T)
+}
 
 // DesignedMIMO returns the standard MIMO controller (cached per
-// (threeInput, seed)). The controller has runtime state, so callers
-// must Reset it before use; experiments always do.
+// (threeInput, seed), single-flight). All callers of one key share one
+// pointer: the controller has runtime state, so parallel experiment jobs
+// must Clone it, and any user must Reset before use; experiments do
+// both.
 func DesignedMIMO(threeInput bool, seed int64) (*core.MIMOController, *core.DesignReport, error) {
 	type key struct {
 		three bool
@@ -55,40 +75,36 @@ func DesignedMIMO(threeInput bool, seed int64) (*core.MIMOController, *core.Desi
 		rep  *core.DesignReport
 		err  error
 	}
-	k := key{threeInput, seed}
-	if v, ok := designCache.Load(k); ok {
-		cv := v.(val)
-		return cv.ctrl, cv.rep, cv.err
-	}
-	ctrl, rep, err := core.DesignMIMO(core.DesignSpec{
-		ThreeInput: threeInput,
-		Training:   TrainingWorkloads(),
-		Validation: ValidationWorkloads(),
-		Seed:       seed,
+	v := designOnce(key{threeInput, seed}, func() val {
+		ctrl, rep, err := core.DesignMIMO(core.DesignSpec{
+			ThreeInput: threeInput,
+			Training:   TrainingWorkloads(),
+			Validation: ValidationWorkloads(),
+			Seed:       seed,
+		})
+		return val{ctrl, rep, err}
 	})
-	designCache.Store(k, val{ctrl, rep, err})
-	return ctrl, rep, err
+	return v.ctrl, v.rep, v.err
 }
 
-// DesignedDecoupled returns the decoupled SISO pair (cached per seed).
+// DesignedDecoupled returns the decoupled SISO pair (cached per seed,
+// single-flight; same sharing rules as DesignedMIMO).
 func DesignedDecoupled(seed int64) (*decoupled.Controller, error) {
 	type key struct{ seed int64 }
 	type val struct {
 		ctrl *decoupled.Controller
 		err  error
 	}
-	k := key{seed}
-	if v, ok := designCache.Load(k); ok {
-		cv := v.(val)
-		return cv.ctrl, cv.err
-	}
-	ctrl, err := decoupled.Design(decoupled.DesignSpec{Training: TrainingWorkloads(), Seed: seed})
-	designCache.Store(k, val{ctrl, err})
-	return ctrl, err
+	v := designOnce(key{seed}, func() val {
+		ctrl, err := decoupled.Design(decoupled.DesignSpec{Training: TrainingWorkloads(), Seed: seed})
+		return val{ctrl, err}
+	})
+	return v.ctrl, v.err
 }
 
 // BaselineFor returns the best static configuration for metric
-// E·D^(k-1) profiled on the training set (cached per (k, threeInput)).
+// E·D^(k-1) profiled on the training set (cached per (k, threeInput,
+// seed), single-flight).
 func BaselineFor(k int, threeInput bool, seed int64) (sim.Config, error) {
 	type key struct {
 		k     int
@@ -99,14 +115,11 @@ func BaselineFor(k int, threeInput bool, seed int64) (sim.Config, error) {
 		cfg sim.Config
 		err error
 	}
-	ck := key{k, threeInput, seed}
-	if v, ok := designCache.Load(ck); ok {
-		cv := v.(val)
-		return cv.cfg, cv.err
-	}
-	cfg, _, err := core.FindBestStatic(TrainingWorkloads(), k, threeInput, 300, seed)
-	designCache.Store(ck, val{cfg, err})
-	return cfg, err
+	v := designOnce(key{k, threeInput, seed}, func() val {
+		cfg, _, err := core.FindBestStatic(TrainingWorkloads(), k, threeInput, 300, seed)
+		return val{cfg, err}
+	})
+	return v.cfg, v.err
 }
 
 // NewHeuristicTracker builds the tracking-mode heuristic.
@@ -235,28 +248,43 @@ func abs(x int) int {
 	return x
 }
 
-// geoMean returns the geometric mean of positive values.
+// geoMean returns the geometric mean of the finite, strictly positive
+// entries of xs. Non-finite or non-positive samples (a corrupt or
+// failed run) are skipped rather than allowed to poison the whole
+// average; if no usable entry remains the defined sentinel is 0. Clean
+// data is unaffected.
 func geoMean(xs []float64) float64 {
-	if len(xs) == 0 {
+	s, n := 0.0, 0
+	for _, x := range xs {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		s += math.Log(x)
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	s := 0.0
-	for _, x := range xs {
-		s += math.Log(x)
-	}
-	return math.Exp(s / float64(len(xs)))
+	return math.Exp(s / float64(n))
 }
 
-// mean returns the arithmetic mean.
+// mean returns the arithmetic mean of the finite entries of xs. NaN and
+// ±Inf samples are skipped (one corrupt run must not turn a whole
+// average into NaN); the empty / all-corrupt sentinel is 0. Clean data
+// is unaffected.
 func mean(xs []float64) float64 {
-	if len(xs) == 0 {
+	s, n := 0.0, 0
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		s += x
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	s := 0.0
-	for _, x := range xs {
-		s += x
-	}
-	return s / float64(len(xs))
+	return s / float64(n)
 }
 
 // writeTable prints an aligned text table.
@@ -291,10 +319,19 @@ func writeTable(w io.Writer, header []string, rows [][]string) {
 // smooths the integer setting series with an exponential moving average
 // (alpha) and returns the last epoch at which the smoothed value is more
 // than tol settings away from its final smoothed value. Returns
-// len(series) if the series never settles.
+// len(series) if the series never settles. The result is always in
+// [0, len(series)]: a non-finite or non-positive alpha degrades to 1
+// (no smoothing) and a NaN tol to 0, so corrupt parameters yield a
+// defined answer instead of a NaN-propagating comparison chain.
 func SteadyStateEpochEMA(series []int, alpha, tol float64) int {
 	if len(series) == 0 {
 		return 0
+	}
+	if math.IsNaN(alpha) || math.IsInf(alpha, 0) || alpha <= 0 {
+		alpha = 1
+	}
+	if math.IsNaN(tol) {
+		tol = 0
 	}
 	ema := make([]float64, len(series))
 	ema[0] = float64(series[0])

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"mimoctl/internal/core"
+	"mimoctl/internal/runner"
 	"mimoctl/internal/sim"
 	"mimoctl/internal/supervisor"
 	"mimoctl/internal/workloads"
@@ -109,22 +110,38 @@ func FaultSweep(seed int64, epochs int) (*FaultSweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &FaultSweepResult{Workload: w.Name(), Epochs: epochs}
-	for _, fc := range FaultClasses(epochs) {
-		ctrls := []core.ArchController{
-			supervisor.New(mimo, supervisor.Options{}),
-			mimo,
-			supervisor.New(NewHeuristicTracker(false), supervisor.Options{}),
-			supervisor.New(dec, supervisor.Options{}),
-		}
-		for _, ctrl := range ctrls {
-			row, err := runFaulted(ctrl, w, fc, seed, epochs)
-			if err != nil {
-				return nil, fmt.Errorf("%s under %s: %w", ctrl.Name(), fc.Name, err)
-			}
-			res.Rows = append(res.Rows, row)
+	// One job per (fault class, architecture); each job wraps its own
+	// controller clone (and its own supervisor — supervisor health
+	// counters are per-run results, so sharing one would corrupt them).
+	newCtrl := []func() core.ArchController{
+		func() core.ArchController { return supervisor.New(mimo.Clone(), supervisor.Options{}) },
+		func() core.ArchController { return mimo.Clone() },
+		func() core.ArchController { return supervisor.New(NewHeuristicTracker(false), supervisor.Options{}) },
+		func() core.ArchController { return supervisor.New(dec.Clone(), supervisor.Options{}) },
+	}
+	classes := FaultClasses(epochs)
+	rows := make([]FaultRow, len(classes)*len(newCtrl))
+	jobs := make([]runner.Job, 0, len(rows))
+	for fi, fc := range classes {
+		for ci, mk := range newCtrl {
+			fi, ci, fc, mk := fi, ci, fc, mk
+			jobs = append(jobs, runner.Job{
+				Label: fmt.Sprintf("faults/%s/%d", fc.Name, ci),
+				Run: func() error {
+					row, err := runFaulted(mk(), w, fc, seed, epochs)
+					if err != nil {
+						return fmt.Errorf("under %s: %w", fc.Name, err)
+					}
+					rows[fi*len(newCtrl)+ci] = row
+					return nil
+				},
+			})
 		}
 	}
+	if err := runPlan(jobs); err != nil {
+		return nil, err
+	}
+	res := &FaultSweepResult{Workload: w.Name(), Epochs: epochs, Rows: rows}
 	markFigureDone("faultsweep")
 	return res, nil
 }

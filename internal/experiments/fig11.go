@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"mimoctl/internal/core"
+	"mimoctl/internal/runner"
 	"mimoctl/internal/workloads"
 )
 
@@ -33,7 +34,10 @@ type Fig11Result struct {
 // Fig11Archs lists the architectures compared, in the paper's order.
 var Fig11Archs = []string{"MIMO", "Heuristic", "Decoupled"}
 
-// Fig11 runs the tracking comparison. epochs <= 0 selects 6000.
+// Fig11 runs the tracking comparison. epochs <= 0 selects 6000. The
+// plan is one job per (application, architecture); each job builds a
+// private controller (a clone of the cached design, or a fresh
+// heuristic).
 func Fig11(seed int64, epochs int) (*Fig11Result, error) {
 	if epochs <= 0 {
 		epochs = 6000
@@ -47,24 +51,42 @@ func Fig11(seed int64, epochs int) (*Fig11Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig11Result{}
-	for _, p := range workloads.ProductionSet() {
-		controllers := []core.ArchController{mimo, NewHeuristicTracker(false), dec}
-		for _, ctrl := range controllers {
-			ctrl.SetTargets(core.DefaultIPSTarget, core.DefaultPowerTarget)
-			st, err := RunTracking(ctrl, p, seed+101, epochs, skip)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", ctrl.Name(), p.Name(), err)
-			}
-			res.Rows = append(res.Rows, Fig11Row{
-				Workload:   p.Name(),
-				Arch:       ctrl.Name(),
-				Responsive: !workloads.NonResponsive(p.Name()),
-				IPSErrPct:  st.IPSErrPct,
-				PowerPct:   st.PowerErrPct,
+	newCtrl := []func() core.ArchController{
+		func() core.ArchController { return mimo.Clone() },
+		func() core.ArchController { return NewHeuristicTracker(false) },
+		func() core.ArchController { return dec.Clone() },
+	}
+	apps := workloads.ProductionSet()
+	rows := make([]Fig11Row, len(apps)*len(newCtrl))
+	jobs := make([]runner.Job, 0, len(rows))
+	for wi, p := range apps {
+		for ci, mk := range newCtrl {
+			wi, ci, p, mk := wi, ci, p, mk
+			jobs = append(jobs, runner.Job{
+				Label: fmt.Sprintf("fig11/%s/%s", p.Name(), Fig11Archs[ci]),
+				Run: func() error {
+					ctrl := mk()
+					ctrl.SetTargets(core.DefaultIPSTarget, core.DefaultPowerTarget)
+					st, err := RunTracking(ctrl, p, seed+101, epochs, skip)
+					if err != nil {
+						return fmt.Errorf("%s on %s: %w", ctrl.Name(), p.Name(), err)
+					}
+					rows[wi*len(newCtrl)+ci] = Fig11Row{
+						Workload:   p.Name(),
+						Arch:       ctrl.Name(),
+						Responsive: !workloads.NonResponsive(p.Name()),
+						IPSErrPct:  st.IPSErrPct,
+						PowerPct:   st.PowerErrPct,
+					}
+					return nil
+				},
 			})
 		}
 	}
+	if err := runPlan(jobs); err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{Rows: rows}
 	markFigureDone("fig11")
 	return res, nil
 }

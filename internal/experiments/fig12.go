@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"mimoctl/internal/core"
+	"mimoctl/internal/runner"
 	"mimoctl/internal/sim"
 	"mimoctl/internal/workloads"
 )
@@ -53,20 +54,40 @@ func Fig12(seed int64, epochs, sampleEvery int) (*Fig12Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig12Result{}
-	for _, name := range Fig12Workloads {
+	newCtrl := []func() core.ArchController{
+		func() core.ArchController { return mimo.Clone() },
+		func() core.ArchController { return NewHeuristicTracker(false) },
+		func() core.ArchController { return dec.Clone() },
+	}
+	// One job per (workload, architecture); each run owns its controller
+	// clone and its battery scheduler, so the reference schedule of one
+	// trace can never leak into another.
+	traces := make([]Fig12Trace, len(Fig12Workloads)*len(newCtrl))
+	jobs := make([]runner.Job, 0, len(traces))
+	for ni, name := range Fig12Workloads {
 		w, err := workloads.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		for _, ctrl := range []core.ArchController{mimo, NewHeuristicTracker(false), dec} {
-			trace, err := fig12Run(ctrl, w, seed, epochs, sampleEvery)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", ctrl.Name(), name, err)
-			}
-			res.Traces = append(res.Traces, trace)
+		for ci, mk := range newCtrl {
+			ni, ci, name, w, mk := ni, ci, name, w, mk
+			jobs = append(jobs, runner.Job{
+				Label: fmt.Sprintf("fig12/%s/%d", name, ci),
+				Run: func() error {
+					trace, err := fig12Run(mk(), w, seed, epochs, sampleEvery)
+					if err != nil {
+						return fmt.Errorf("on %s: %w", name, err)
+					}
+					traces[ni*len(newCtrl)+ci] = trace
+					return nil
+				},
+			})
 		}
 	}
+	if err := runPlan(jobs); err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{Traces: traces}
 	markFigureDone("fig12")
 	return res, nil
 }

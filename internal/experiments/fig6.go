@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"mimoctl/internal/core"
+	"mimoctl/internal/runner"
 	"mimoctl/internal/sim"
 	"mimoctl/internal/workloads"
 )
@@ -58,7 +59,9 @@ type Fig6Result struct {
 }
 
 // Fig6 runs the experiment. epochs <= 0 selects 2500 as in the figure's
-// axis range.
+// axis range. The plan is one job per weight set (each designs and runs
+// its own controller); points land in Table V order regardless of
+// worker count.
 func Fig6(seed int64, epochs int) (*Fig6Result, error) {
 	if epochs <= 0 {
 		epochs = 2500
@@ -67,65 +70,84 @@ func Fig6(seed int64, epochs int) (*Fig6Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig6Result{Epochs: epochs}
-	for _, set := range Fig6WeightSets() {
-		point := Fig6Point{Set: set}
-		ctrl, _, err := core.DesignMIMO(core.DesignSpec{
-			Training:         TrainingWorkloads(),
-			Seed:             seed,
-			IPSWeight:        set.IPS,
-			PowerWeight:      set.Power,
-			FreqWeight:       set.Freq,
-			CacheWeight:      set.Cache,
-			MaxRSAIterations: 1, // evaluate the weight set as given
-		})
-		if err != nil {
-			// A weight set that cannot even be stabilized nominally is
-			// reported as non-convergent, like the paper's Equal point.
-			point.Converged = false
-			point.EpochsSteadyFreq = epochs
-			point.EpochsSteadyCache = epochs
-			res.Points = append(res.Points, point)
-			continue
-		}
-		ctrl.SetTargets(core.DefaultIPSTarget, core.DefaultPowerTarget)
-		proc, err := sim.NewProcessor(namd, sim.DefaultProcessorOptions(), seed+77)
-		if err != nil {
-			return nil, err
-		}
-		tel := proc.Step()
-		freqSeries := make([]int, 0, epochs)
-		cacheSeries := make([]int, 0, epochs)
-		var sumIErr, sumPErr float64
-		n := 0
-		for k := 0; k < epochs; k++ {
-			cfg := ctrl.Step(tel)
-			if err := proc.Apply(cfg); err != nil {
-				return nil, err
+	sets := Fig6WeightSets()
+	points := make([]Fig6Point, len(sets))
+	jobs := make([]runner.Job, len(sets))
+	for i, set := range sets {
+		i, set := i, set
+		jobs[i] = runner.Job{Label: "fig6/" + set.Label, Run: func() error {
+			p, err := fig6Point(namd, set, seed, epochs)
+			if err != nil {
+				return err
 			}
-			tel = proc.Step()
-			freqSeries = append(freqSeries, cfg.FreqIdx)
-			cacheSeries = append(cacheSeries, cfg.CacheIdx)
-			if k >= epochs*4/5 {
-				sumIErr += absf(tel.TrueIPS-core.DefaultIPSTarget) / core.DefaultIPSTarget
-				sumPErr += absf(tel.TruePowerW-core.DefaultPowerTarget) / core.DefaultPowerTarget
-				n++
-			}
-		}
-		countEpochs(epochs)
-		point.EpochsSteadyFreq = SteadyStateEpochEMA(freqSeries, 0.05, 1.0)
-		point.EpochsSteadyCache = SteadyStateEpochEMA(cacheSeries, 0.05, 0.6)
-		point.IPSErrPct = 100 * sumIErr / float64(n)
-		point.PowerErrPct = 100 * sumPErr / float64(n)
-		// Converged means the knobs settled AND the heavily weighted
-		// output actually reached its target: the paper's Equal point is
-		// "missing" because the outputs never move to the references.
-		point.Converged = point.EpochsSteadyFreq < epochs &&
-			point.EpochsSteadyCache < epochs && point.PowerErrPct <= 10
-		res.Points = append(res.Points, point)
+			points[i] = p
+			return nil
+		}}
 	}
+	if err := runPlan(jobs); err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{Epochs: epochs, Points: points}
 	markFigureDone("fig6")
 	return res, nil
+}
+
+// fig6Point designs one weight set's controller and measures its
+// convergence and tracking on namd — one independent job.
+func fig6Point(namd sim.Workload, set Fig6WeightSet, seed int64, epochs int) (Fig6Point, error) {
+	point := Fig6Point{Set: set}
+	ctrl, _, err := core.DesignMIMO(core.DesignSpec{
+		Training:         TrainingWorkloads(),
+		Seed:             seed,
+		IPSWeight:        set.IPS,
+		PowerWeight:      set.Power,
+		FreqWeight:       set.Freq,
+		CacheWeight:      set.Cache,
+		MaxRSAIterations: 1, // evaluate the weight set as given
+	})
+	if err != nil {
+		// A weight set that cannot even be stabilized nominally is
+		// reported as non-convergent, like the paper's Equal point.
+		point.Converged = false
+		point.EpochsSteadyFreq = epochs
+		point.EpochsSteadyCache = epochs
+		return point, nil
+	}
+	ctrl.SetTargets(core.DefaultIPSTarget, core.DefaultPowerTarget)
+	proc, err := sim.NewProcessor(namd, sim.DefaultProcessorOptions(), seed+77)
+	if err != nil {
+		return Fig6Point{}, err
+	}
+	tel := proc.Step()
+	freqSeries := make([]int, 0, epochs)
+	cacheSeries := make([]int, 0, epochs)
+	var sumIErr, sumPErr float64
+	n := 0
+	for k := 0; k < epochs; k++ {
+		cfg := ctrl.Step(tel)
+		if err := proc.Apply(cfg); err != nil {
+			return Fig6Point{}, err
+		}
+		tel = proc.Step()
+		freqSeries = append(freqSeries, cfg.FreqIdx)
+		cacheSeries = append(cacheSeries, cfg.CacheIdx)
+		if k >= epochs*4/5 {
+			sumIErr += absf(tel.TrueIPS-core.DefaultIPSTarget) / core.DefaultIPSTarget
+			sumPErr += absf(tel.TruePowerW-core.DefaultPowerTarget) / core.DefaultPowerTarget
+			n++
+		}
+	}
+	countEpochs(epochs)
+	point.EpochsSteadyFreq = SteadyStateEpochEMA(freqSeries, 0.05, 1.0)
+	point.EpochsSteadyCache = SteadyStateEpochEMA(cacheSeries, 0.05, 0.6)
+	point.IPSErrPct = 100 * sumIErr / float64(n)
+	point.PowerErrPct = 100 * sumPErr / float64(n)
+	// Converged means the knobs settled AND the heavily weighted
+	// output actually reached its target: the paper's Equal point is
+	// "missing" because the outputs never move to the references.
+	point.Converged = point.EpochsSteadyFreq < epochs &&
+		point.EpochsSteadyCache < epochs && point.PowerErrPct <= 10
+	return point, nil
 }
 
 func absf(x float64) float64 {

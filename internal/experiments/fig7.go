@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"mimoctl/internal/core"
+	"mimoctl/internal/runner"
 	"mimoctl/internal/sim"
 	"mimoctl/internal/sysid"
 )
@@ -35,62 +36,100 @@ type Fig7Result struct {
 }
 
 // Fig7 runs the sweep over even dimensions 2..maxDim (two outputs means
-// realizable state dimensions come in steps of 2).
+// realizable state dimensions come in steps of 2). The plan has two
+// stages: the training and per-application validation records are
+// collected by independent jobs, then one job per dimension fits and
+// scores its model against the shared (read-only) records.
 func Fig7(seed int64, maxDim int) (*Fig7Result, error) {
 	if maxDim <= 0 {
 		maxDim = 8
 	}
-	train, err := core.CollectIdentificationData(TrainingWorkloads(), false, 3000, seed)
-	if err != nil {
+	// Stage 1: identification records. Index 0 is the training record;
+	// 1.. are one validation record per held-out application (the
+	// figure's "maximum error" is the worst per-application average
+	// prediction error, as in §VI-A2).
+	valWorkloads := ValidationWorkloads()
+	records := make([]*sysid.Data, 1+len(valWorkloads))
+	collect := make([]runner.Job, 0, len(records))
+	collect = append(collect, runner.Job{Label: "fig7/collect/train", Run: func() error {
+		d, err := core.CollectIdentificationData(TrainingWorkloads(), false, 3000, seed)
+		records[0] = d
+		return err
+	}})
+	for i, w := range valWorkloads {
+		i, w := i, w
+		collect = append(collect, runner.Job{Label: "fig7/collect/" + w.Name(), Run: func() error {
+			d, err := core.CollectIdentificationData([]sim.Workload{w}, false, 1500, seed+99991)
+			records[1+i] = d
+			return err
+		}})
+	}
+	if err := runPlan(collect); err != nil {
 		return nil, err
 	}
-	// One validation record per held-out application; the figure's
-	// "maximum error" is the worst per-application average prediction
-	// error, as in §VI-A2.
-	var valRecords []*sysid.Data
-	for _, w := range ValidationWorkloads() {
-		d, err := core.CollectIdentificationData([]sim.Workload{w}, false, 1500, seed+99991)
-		if err != nil {
-			return nil, err
-		}
-		valRecords = append(valRecords, d)
-	}
-	res := &Fig7Result{}
+	train, valRecords := records[0], records[1:]
+
+	// Stage 2: one job per model dimension.
+	var dims []int
 	for dim := 2; dim <= maxDim; dim += 2 {
-		model, err := sysid.FitARX(train, sysid.ARXOrders{NA: dim / 2, NB: dim / 2})
-		if err != nil {
-			return nil, fmt.Errorf("dimension %d: %w", dim, err)
-		}
-		point := Fig7Point{Dimension: dim}
-		var fitI, fitP []float64
-		for _, val := range valRecords {
-			pred, err := model.OneStepPredict(val)
-			if err != nil {
-				return nil, err
-			}
-			relErr, err := sysid.MeanRelError(val.Y, pred)
-			if err != nil {
-				return nil, err
-			}
-			if e := 100 * relErr[0]; e > point.MaxErrIPSPct {
-				point.MaxErrIPSPct = e
-			}
-			if e := 100 * relErr[1]; e > point.MaxErrPowerPct {
-				point.MaxErrPowerPct = e
-			}
-			fit, err := sysid.FitPercent(val.Y, pred)
-			if err != nil {
-				return nil, err
-			}
-			fitI = append(fitI, fit[0])
-			fitP = append(fitP, fit[1])
-		}
-		point.FitIPSPct = mean(fitI)
-		point.FitPowerPct = mean(fitP)
-		res.Points = append(res.Points, point)
+		dims = append(dims, dim)
 	}
+	points := make([]Fig7Point, len(dims))
+	fit := make([]runner.Job, len(dims))
+	for i, dim := range dims {
+		i, dim := i, dim
+		fit[i] = runner.Job{Label: fmt.Sprintf("fig7/dim=%d", dim), Run: func() error {
+			p, err := fig7Point(train, valRecords, dim)
+			if err != nil {
+				return err
+			}
+			points[i] = p
+			return nil
+		}}
+	}
+	if err := runPlan(fit); err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Points: points}
 	markFigureDone("fig7")
 	return res, nil
+}
+
+// fig7Point fits one dimension's model on the training record and
+// scores it on the validation records — one independent job; it only
+// reads the shared records.
+func fig7Point(train *sysid.Data, valRecords []*sysid.Data, dim int) (Fig7Point, error) {
+	model, err := sysid.FitARX(train, sysid.ARXOrders{NA: dim / 2, NB: dim / 2})
+	if err != nil {
+		return Fig7Point{}, fmt.Errorf("dimension %d: %w", dim, err)
+	}
+	point := Fig7Point{Dimension: dim}
+	var fitI, fitP []float64
+	for _, val := range valRecords {
+		pred, err := model.OneStepPredict(val)
+		if err != nil {
+			return Fig7Point{}, err
+		}
+		relErr, err := sysid.MeanRelError(val.Y, pred)
+		if err != nil {
+			return Fig7Point{}, err
+		}
+		if e := 100 * relErr[0]; e > point.MaxErrIPSPct {
+			point.MaxErrIPSPct = e
+		}
+		if e := 100 * relErr[1]; e > point.MaxErrPowerPct {
+			point.MaxErrPowerPct = e
+		}
+		fit, err := sysid.FitPercent(val.Y, pred)
+		if err != nil {
+			return Fig7Point{}, err
+		}
+		fitI = append(fitI, fit[0])
+		fitP = append(fitP, fit[1])
+	}
+	point.FitIPSPct = mean(fitI)
+	point.FitPowerPct = mean(fitP)
+	return point, nil
 }
 
 // WriteText renders the sweep.

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"mimoctl/internal/core"
+	"mimoctl/internal/runner"
 	"mimoctl/internal/sim"
 	"mimoctl/internal/workloads"
 )
@@ -28,6 +29,9 @@ type Fig8Result struct {
 }
 
 // Fig8 runs the comparison over the responsive production applications.
+// The plan runs the two designs as jobs, then one job per (design,
+// application) pair; each run job clones its design so jobs share no
+// state.
 func Fig8(seed int64, epochs int) (*Fig8Result, error) {
 	if epochs <= 0 {
 		epochs = 1200
@@ -36,37 +40,59 @@ func Fig8(seed int64, epochs int) (*Fig8Result, error) {
 	// guardbands, which requires more cautious (heavier) input weights;
 	// betting on the smaller 30%/20% guardbands permits the nominal
 	// tuning, which settles faster (§VIII-C).
-	high, _, err := core.DesignMIMO(core.DesignSpec{
-		Training:    TrainingWorkloads(),
-		Seed:        seed,
-		FreqWeight:  core.DefaultFreqWeight * 4,
-		CacheWeight: core.DefaultCacheWeight * 4,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("high-uncertainty design: %w", err)
+	var high, low *core.MIMOController
+	design := []runner.Job{
+		{Label: "fig8/design/high", Run: func() error {
+			c, _, err := core.DesignMIMO(core.DesignSpec{
+				Training:    TrainingWorkloads(),
+				Seed:        seed,
+				FreqWeight:  core.DefaultFreqWeight * 4,
+				CacheWeight: core.DefaultCacheWeight * 4,
+			})
+			if err != nil {
+				return fmt.Errorf("high-uncertainty design: %w", err)
+			}
+			high = c
+			return nil
+		}},
+		{Label: "fig8/design/low", Run: func() error {
+			c, _, err := core.DesignMIMO(core.DesignSpec{
+				Training:       TrainingWorkloads(),
+				Seed:           seed,
+				IPSGuardband:   0.30,
+				PowerGuardband: 0.20,
+			})
+			if err != nil {
+				return fmt.Errorf("low-uncertainty design: %w", err)
+			}
+			low = c
+			return nil
+		}},
 	}
-	low, _, err := core.DesignMIMO(core.DesignSpec{
-		Training:       TrainingWorkloads(),
-		Seed:           seed,
-		IPSGuardband:   0.30,
-		PowerGuardband: 0.20,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("low-uncertainty design: %w", err)
+	if err := runPlan(design); err != nil {
+		return nil, err
 	}
-	res := &Fig8Result{}
-	for _, p := range workloads.ResponsiveSet() {
-		hp, err := fig8Run(high, p, seed, epochs)
-		if err != nil {
-			return nil, err
-		}
-		lp, err := fig8Run(low, p, seed, epochs)
-		if err != nil {
-			return nil, err
-		}
-		res.High = append(res.High, hp)
-		res.Low = append(res.Low, lp)
+	apps := workloads.ResponsiveSet()
+	highPts := make([]Fig8Point, len(apps))
+	lowPts := make([]Fig8Point, len(apps))
+	jobs := make([]runner.Job, 0, 2*len(apps))
+	for i, p := range apps {
+		i, p := i, p
+		jobs = append(jobs, runner.Job{Label: "fig8/high/" + p.Name(), Run: func() error {
+			pt, err := fig8Run(high.Clone(), p, seed, epochs)
+			highPts[i] = pt
+			return err
+		}})
+		jobs = append(jobs, runner.Job{Label: "fig8/low/" + p.Name(), Run: func() error {
+			pt, err := fig8Run(low.Clone(), p, seed, epochs)
+			lowPts[i] = pt
+			return err
+		}})
 	}
+	if err := runPlan(jobs); err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{High: highPts, Low: lowPts}
 	markFigureDone("fig8")
 	return res, nil
 }

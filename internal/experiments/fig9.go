@@ -5,6 +5,8 @@ import (
 	"io"
 
 	"mimoctl/internal/core"
+	"mimoctl/internal/decoupled"
+	"mimoctl/internal/runner"
 	"mimoctl/internal/sim"
 	"mimoctl/internal/workloads"
 )
@@ -68,11 +70,9 @@ func runEnergyExperiment(seed int64, epochs, k int, threeInput bool) (*EnergyRes
 		epochs = 12000
 	}
 	warm := 400
+	// Resolve the cached design artifacts once on this goroutine; each
+	// job below clones/wraps its own controller around them.
 	baseCfg, err := BaselineFor(k, threeInput, seed)
-	if err != nil {
-		return nil, err
-	}
-	baseline, err := core.NewStaticController(baseCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -80,45 +80,70 @@ func runEnergyExperiment(seed int64, epochs, k int, threeInput bool) (*EnergyRes
 	if err != nil {
 		return nil, err
 	}
-	mimoOpt, err := core.NewOptimizer(mimo, core.OptimizerConfig{K: k})
-	if err != nil {
-		return nil, err
-	}
-	controllers := []core.ArchController{mimoOpt}
-	archs := []string{"MIMO"}
-	hs, err := NewHeuristicSearcher(k, threeInput)
-	if err != nil {
-		return nil, err
-	}
-	controllers = append(controllers, hs)
-	archs = append(archs, "Heuristic")
+	var dec core.ArchController
+	archs := []string{"MIMO", "Heuristic"}
 	if !threeInput {
-		dec, err := DesignedDecoupled(seed)
+		d, err := DesignedDecoupled(seed)
 		if err != nil {
 			return nil, err
 		}
-		decOpt, err := core.NewOptimizer(dec, core.OptimizerConfig{K: k})
-		if err != nil {
-			return nil, err
-		}
-		controllers = append(controllers, decOpt)
+		dec = d
 		archs = append(archs, "Decoupled")
 	}
-	res := &EnergyResult{K: k, ThreeInput: threeInput, Archs: archs, Baseline: baseCfg}
-	for _, p := range workloads.ProductionSet() {
-		baseEDP, err := RunEnergy(baseline, p, seed+7, epochs, warm, k)
-		if err != nil {
-			return nil, err
+	// newCtrl builds a private controller instance for one job: every
+	// arch's runtime state (optimizer trials, heuristic search position)
+	// must be job-local for the plan to be order-independent.
+	newCtrl := func(arch string) (core.ArchController, error) {
+		switch arch {
+		case "Baseline":
+			return core.NewStaticController(baseCfg)
+		case "MIMO":
+			return core.NewOptimizer(mimo.Clone(), core.OptimizerConfig{K: k})
+		case "Heuristic":
+			return NewHeuristicSearcher(k, threeInput)
+		case "Decoupled":
+			return core.NewOptimizer(dec.(*decoupled.Controller).Clone(), core.OptimizerConfig{K: k})
 		}
-		for i, ctrl := range controllers {
-			edp, err := RunEnergy(ctrl, p, seed+7, epochs, warm, k)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", archs[i], p.Name(), err)
-			}
+		return nil, fmt.Errorf("unknown arch %q", arch)
+	}
+	apps := workloads.ProductionSet()
+	// One job per (workload, Baseline ∪ archs); edps[wi][0] is the
+	// workload's baseline and edps[wi][1+ai] architecture ai.
+	edps := make([][]float64, len(apps))
+	jobs := make([]runner.Job, 0, len(apps)*(1+len(archs)))
+	for wi, p := range apps {
+		wi, p := wi, p
+		edps[wi] = make([]float64, 1+len(archs))
+		for ci, arch := range append([]string{"Baseline"}, archs...) {
+			ci, arch := ci, arch
+			jobs = append(jobs, runner.Job{
+				Label: fmt.Sprintf("ed%d/%s/%s", k, p.Name(), arch),
+				Run: func() error {
+					ctrl, err := newCtrl(arch)
+					if err != nil {
+						return err
+					}
+					edp, err := RunEnergy(ctrl, p, seed+7, epochs, warm, k)
+					if err != nil {
+						return fmt.Errorf("%s on %s: %w", arch, p.Name(), err)
+					}
+					edps[wi][ci] = edp
+					return nil
+				},
+			})
+		}
+	}
+	if err := runPlan(jobs); err != nil {
+		return nil, err
+	}
+	res := &EnergyResult{K: k, ThreeInput: threeInput, Archs: archs, Baseline: baseCfg}
+	for wi, p := range apps {
+		baseEDP := edps[wi][0]
+		for ai, arch := range archs {
 			res.Rows = append(res.Rows, EnergyRow{
 				Workload:   p.Name(),
-				Arch:       archs[i],
-				Normalized: edp / baseEDP,
+				Arch:       arch,
+				Normalized: edps[wi][1+ai] / baseEDP,
 			})
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"mimoctl/internal/core"
+	"mimoctl/internal/runner"
 	"mimoctl/internal/sim"
 	"mimoctl/internal/supervisor"
 	"mimoctl/internal/telemetry"
@@ -30,6 +31,7 @@ func EnableTelemetry(reg *telemetry.Registry) {
 	sim.SetTelemetry(reg)
 	core.SetTelemetry(reg)
 	supervisor.SetTelemetry(reg)
+	runner.SetTelemetry(reg)
 	if reg == nil {
 		expTel.Store(nil)
 		return

@@ -289,6 +289,25 @@ func (c *Controller) buildTargetCalculator() error {
 	return nil
 }
 
+// Clone returns an independent controller that shares the immutable
+// design artifacts (plant, gains, cost matrices — none of which are
+// written after Design) but owns a deep copy of every piece of runtime
+// state, so the clone and the original can step concurrently. The
+// parallel experiment engine clones one memoized design per job instead
+// of redesigning per worker.
+func (c *Controller) Clone() *Controller {
+	d := *c
+	d.xhat = append([]float64(nil), c.xhat...)
+	d.uPrev = append([]float64(nil), c.uPrev...)
+	d.zInt = append([]float64(nil), c.zInt...)
+	d.lastExcess = append([]float64(nil), c.lastExcess...)
+	d.lastInnov = append([]float64(nil), c.lastInnov...)
+	d.ref = append([]float64(nil), c.ref...)
+	d.xss = append([]float64(nil), c.xss...)
+	d.uss = append([]float64(nil), c.uss...)
+	return &d
+}
+
 // Reset clears the runtime state (estimate, integrators, previous input)
 // and the reference.
 func (c *Controller) Reset() {

@@ -1,0 +1,57 @@
+package runner
+
+import (
+	"sync/atomic"
+
+	"mimoctl/internal/telemetry"
+)
+
+// Telemetry instrumentation for the engine, following the repo-wide
+// pattern: a binary opts in once (experiments.EnableTelemetry cascades
+// here), everything else stays inert.
+//
+// Worker utilization is derived, not exported directly:
+//
+//	utilization = runner_worker_busy_seconds_total /
+//	              runner_worker_pool_seconds_total
+//
+// busy counts wall time inside Job.Run summed over workers; pool counts
+// workers x pool wall time, so the ratio is the fraction of worker time
+// spent executing jobs rather than stealing or draining.
+
+type metrics struct {
+	queued      telemetry.Gauge
+	running     telemetry.Gauge
+	workers     telemetry.Gauge
+	done        telemetry.Counter
+	stolen      telemetry.Counter
+	jobSeconds  telemetry.Histogram
+	busySeconds telemetry.FloatCounter
+	poolSeconds telemetry.FloatCounter
+}
+
+var tel atomic.Pointer[metrics]
+
+// jobBuckets span one epoch-sim job (sub-millisecond at small budgets)
+// to a full-length figure sweep.
+var jobBuckets = []float64{
+	0.0005, 0.002, 0.01, 0.05, 0.25, 1, 5, 30, 120,
+}
+
+// SetTelemetry binds the engine to a registry; nil disables.
+func SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil || !reg.Enabled() {
+		tel.Store(nil)
+		return
+	}
+	tel.Store(&metrics{
+		queued:      reg.Gauge("runner_jobs_queued", "experiment jobs waiting for a worker"),
+		running:     reg.Gauge("runner_jobs_running", "experiment jobs currently executing"),
+		workers:     reg.Gauge("runner_workers", "workers attached to active pools"),
+		done:        reg.Counter("runner_jobs_done_total", "experiment jobs completed (success or failure)"),
+		stolen:      reg.Counter("runner_jobs_stolen_total", "jobs migrated between worker deques"),
+		jobSeconds:  reg.Histogram("runner_job_seconds", "wall time of one experiment job", jobBuckets),
+		busySeconds: reg.FloatCounter("runner_worker_busy_seconds_total", "summed wall time workers spent inside jobs"),
+		poolSeconds: reg.FloatCounter("runner_worker_pool_seconds_total", "summed worker-seconds of pool lifetime (busy + idle)"),
+	})
+}

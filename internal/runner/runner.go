@@ -1,0 +1,283 @@
+// Package runner is the parallel experiment engine: it executes a plan
+// of independent jobs on a bounded work-stealing worker pool and leaves
+// every result exactly where the serial path would have put it.
+//
+// The determinism contract is structural, not scheduled: a Job must be
+// self-contained (own controller clone, own processor, own RNG seeded
+// from the job's identity — see JobSeed) and must write only to its own
+// pre-assigned result slot. Under that contract the worker count can
+// never change a result, only the wall-clock time, so serial (workers
+// <= 0) and parallel runs produce byte-identical experiment output.
+package runner
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job is one independent unit of an experiment plan, typically one
+// (controller, workload, seed) run. Run must not share mutable state
+// with any other job of the same plan.
+type Job struct {
+	// Label identifies the job in telemetry and errors, e.g.
+	// "fig11/astar/MIMO".
+	Label string
+	// Run executes the job. The result goes into the slot the plan
+	// builder captured in the closure, keyed by the job's canonical
+	// index — never by completion order.
+	Run func() error
+}
+
+// Error reports the first (lowest canonical index) job failure of a
+// plan.
+type Error struct {
+	Index int
+	Label string
+	Err   error
+}
+
+func (e *Error) Error() string {
+	if e.Label == "" {
+		return e.Err.Error()
+	}
+	return e.Label + ": " + e.Err.Error()
+}
+
+// Unwrap exposes the job's underlying error.
+func (e *Error) Unwrap() error { return e.Err }
+
+// DefaultWorkers is the worker count the CLIs use when none is given:
+// one worker per CPU.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// Run executes every job of the plan and returns the failure with the
+// lowest canonical index, or nil.
+//
+// workers <= 0 runs the plan serially on the calling goroutine, in
+// order, stopping at the first error — the reference semantics.
+// workers >= 1 runs the plan on that many goroutines with per-worker
+// deques and work stealing; remaining jobs are cancelled once a job
+// fails. Because jobs are independent and results are keyed by index,
+// both modes produce identical results on success.
+func Run(jobs []Job, workers int) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	if workers <= 0 || len(jobs) == 1 {
+		return runSerial(jobs)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	return runPool(jobs, workers)
+}
+
+func runSerial(jobs []Job) error {
+	m := tel.Load()
+	if m != nil {
+		m.queued.Add(float64(len(jobs)))
+	}
+	for i := range jobs {
+		start := time.Now()
+		if m != nil {
+			m.queued.Add(-1)
+			m.running.Add(1)
+		}
+		err := jobs[i].Run()
+		if m != nil {
+			m.running.Add(-1)
+			m.done.Inc()
+			d := time.Since(start).Seconds()
+			m.jobSeconds.Observe(d)
+			m.busySeconds.Add(d)
+			m.poolSeconds.Add(d) // serial: the one "worker" is always busy
+		}
+		if err != nil {
+			if m != nil {
+				m.queued.Add(float64(-(len(jobs) - i - 1)))
+			}
+			return &Error{Index: i, Label: jobs[i].Label, Err: err}
+		}
+	}
+	return nil
+}
+
+// shard is one worker's deque of job indices. The owner pops from the
+// front; thieves steal from the back, so an owner working through a
+// contiguous range and a thief relieving it never contend on the same
+// end for long.
+type shard struct {
+	mu   sync.Mutex
+	jobs []int
+}
+
+// popFront takes the owner's next job, or -1.
+func (s *shard) popFront() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.jobs) == 0 {
+		return -1
+	}
+	j := s.jobs[0]
+	s.jobs = s.jobs[1:]
+	return j
+}
+
+// stealBack takes up to half of the victim's remaining jobs from the
+// back, returning them (or nil).
+func (s *shard) stealBack() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.jobs)
+	if n == 0 {
+		return nil
+	}
+	take := (n + 1) / 2
+	stolen := append([]int(nil), s.jobs[n-take:]...)
+	s.jobs = s.jobs[:n-take]
+	return stolen
+}
+
+// size reports the remaining queue length (racy by design: stealing
+// victims are chosen heuristically).
+func (s *shard) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+func runPool(jobs []Job, workers int) error {
+	m := tel.Load()
+	poolStart := time.Now()
+	if m != nil {
+		m.queued.Add(float64(len(jobs)))
+		m.workers.Add(float64(workers))
+	}
+
+	// Contiguous block sharding: worker w starts with jobs
+	// [w*n/workers, (w+1)*n/workers), preserving plan locality.
+	shards := make([]*shard, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*len(jobs)/workers, (w+1)*len(jobs)/workers
+		idx := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			idx = append(idx, i)
+		}
+		shards[w] = &shard{jobs: idx}
+	}
+
+	var (
+		cancelled atomic.Bool
+		errMu     sync.Mutex
+		firstErr  *Error
+		wg        sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		cancelled.Store(true)
+		errMu.Lock()
+		defer errMu.Unlock()
+		if firstErr == nil || i < firstErr.Index {
+			firstErr = &Error{Index: i, Label: jobs[i].Label, Err: err}
+		}
+	}
+	runOne := func(i int) {
+		start := time.Now()
+		if m != nil {
+			m.queued.Add(-1)
+			m.running.Add(1)
+		}
+		err := jobs[i].Run()
+		if m != nil {
+			m.running.Add(-1)
+			m.done.Inc()
+			d := time.Since(start).Seconds()
+			m.jobSeconds.Observe(d)
+			m.busySeconds.Add(d)
+		}
+		if err != nil {
+			record(i, err)
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := shards[w]
+			for !cancelled.Load() {
+				i := own.popFront()
+				if i < 0 {
+					// Own deque drained: steal from the fullest victim.
+					victim, best := -1, 0
+					for v, s := range shards {
+						if v == w {
+							continue
+						}
+						if n := s.size(); n > best {
+							victim, best = v, n
+						}
+					}
+					if victim < 0 {
+						return
+					}
+					stolen := shards[victim].stealBack()
+					if len(stolen) == 0 {
+						continue // lost the race; rescan
+					}
+					if m != nil {
+						m.stolen.Add(uint64(len(stolen)))
+					}
+					own.mu.Lock()
+					own.jobs = append(own.jobs, stolen...)
+					own.mu.Unlock()
+					continue
+				}
+				runOne(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m != nil {
+		m.workers.Add(float64(-workers))
+		m.poolSeconds.Add(time.Since(poolStart).Seconds() * float64(workers))
+		// Jobs skipped by cancellation are no longer queued.
+		remaining := 0
+		for _, s := range shards {
+			remaining += s.size()
+		}
+		m.queued.Add(float64(-remaining))
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return nil
+}
+
+// JobSeed derives a stable per-job RNG seed from the job's identity —
+// the experiment, architecture, workload names and the experiment's
+// base seed — via 64-bit FNV-1a. The seed is a pure function of what
+// the job *is*, never of worker count or scheduling order, which is
+// what keeps parallel sweeps reproducible. New experiments should
+// derive per-job randomness through this (the pre-engine figures keep
+// their historical seed+offset derivations so their published numbers
+// stand).
+func JobSeed(experiment, arch, workload string, seed int64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(experiment))
+	h.Write([]byte{0})
+	h.Write([]byte(arch))
+	h.Write([]byte{0})
+	h.Write([]byte(workload))
+	h.Write([]byte{0})
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(seed >> (8 * i))
+	}
+	h.Write(b[:])
+	// Keep the seed non-negative: rand.NewSource accepts any int64 but
+	// non-negative seeds read better in logs and flags.
+	return int64(h.Sum64() &^ (1 << 63))
+}

@@ -12,7 +12,11 @@ import (
 // PRBS generates a pseudo-random binary sequence of length n that holds
 // each value for `hold` samples and alternates between levels lo and hi.
 // PRBS is the classic persistently exciting identification input.
+// A non-positive n yields nil (no samples requested).
 func PRBS(rng *rand.Rand, n, hold int, lo, hi float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
 	if hold < 1 {
 		hold = 1
 	}
@@ -35,7 +39,11 @@ func PRBS(rng *rand.Rand, n, hold int, lo, hi float64) []float64 {
 // drawn uniformly from levels and held for a random duration in
 // [holdMin, holdMax] samples. This exercises the full discrete setting
 // range of an architectural knob.
+// A non-positive n or an empty level set yields nil.
 func RandomLevels(rng *rand.Rand, n int, levels []float64, holdMin, holdMax int) []float64 {
+	if n <= 0 || len(levels) == 0 {
+		return nil
+	}
 	if holdMin < 1 {
 		holdMin = 1
 	}
@@ -58,7 +66,11 @@ func RandomLevels(rng *rand.Rand, n int, levels []float64, holdMin, holdMax int)
 // Staircase sweeps through levels in order, holding each for hold
 // samples, then reverses; repeated until n samples are produced. Useful
 // for mapping static gains.
+// A non-positive n or an empty level set yields nil.
 func Staircase(n int, levels []float64, hold int) []float64 {
+	if n <= 0 || len(levels) == 0 {
+		return nil
+	}
 	if hold < 1 {
 		hold = 1
 	}
@@ -116,8 +128,15 @@ func Multisine(n int, cycles []float64, amp, offset float64) []float64 {
 // QuantizeTo maps every sample of x to the nearest value in levels,
 // which must be sorted ascending. Architectural knobs take discrete
 // values, so identification inputs must respect the allowed settings.
+// With no levels there is nothing to snap to: the result is a copy of x.
+// A NaN sample snaps to the first level (no |v-l| comparison can beat
+// it), so the output always consists of allowed settings.
 func QuantizeTo(x []float64, levels []float64) []float64 {
 	out := make([]float64, len(x))
+	if len(levels) == 0 {
+		copy(out, x)
+		return out
+	}
 	for i, v := range x {
 		out[i] = nearestLevel(v, levels)
 	}

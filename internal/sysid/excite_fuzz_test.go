@@ -1,0 +1,97 @@
+package sysid
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Fuzz targets for the excitation generators: whatever the parameters,
+// the generators must not panic, must return the requested number of
+// samples, and must emit only allowed values — identification inputs
+// are applied to the (simulated) hardware knobs, so an out-of-range
+// sample is an illegal actuation.
+
+func FuzzPRBS(f *testing.F) {
+	f.Add(int64(1), 100, 5, 0.0, 1.0)
+	f.Add(int64(7), 0, 0, -2.0, 2.0)
+	f.Add(int64(42), 1, -3, 3.5, 3.5)
+	f.Add(int64(-1), 17, 1000, math.Inf(-1), math.NaN())
+	f.Fuzz(func(t *testing.T, seed int64, n, hold int, lo, hi float64) {
+		if n > 1<<16 {
+			t.Skip("unbounded allocation")
+		}
+		out := PRBS(rand.New(rand.NewSource(seed)), n, hold, lo, hi)
+		if n <= 0 {
+			if out != nil {
+				t.Fatalf("n=%d: want nil, got %d samples", n, len(out))
+			}
+			return
+		}
+		if len(out) != n {
+			t.Fatalf("n=%d: got %d samples", n, len(out))
+		}
+		lob, hib := math.Float64bits(lo), math.Float64bits(hi)
+		for i, v := range out {
+			if b := math.Float64bits(v); b != lob && b != hib {
+				t.Fatalf("sample %d = %v is neither lo=%v nor hi=%v", i, v, lo, hi)
+			}
+		}
+	})
+}
+
+func FuzzQuantizeTo(f *testing.F) {
+	f.Add(floatBytes(0.5, 1.7, -3, math.NaN()), floatBytes(0, 1, 2))
+	f.Add(floatBytes(1, 2, 3), []byte{})
+	f.Add([]byte{}, floatBytes(5))
+	f.Add(floatBytes(math.Inf(1), math.Inf(-1)), floatBytes(-1, 1))
+	f.Fuzz(func(t *testing.T, xb, lb []byte) {
+		x := decodeFloats(xb)
+		levels := decodeFloats(lb)
+		// The contract requires sorted levels; NaN has no order, so make
+		// it representable by sorting NaNs to the front.
+		sort.Slice(levels, func(i, j int) bool {
+			return levels[i] < levels[j] || math.IsNaN(levels[i]) && !math.IsNaN(levels[j])
+		})
+		out := QuantizeTo(x, levels)
+		if len(out) != len(x) {
+			t.Fatalf("len(out)=%d, len(x)=%d", len(out), len(x))
+		}
+		if len(levels) == 0 {
+			for i := range x {
+				if math.Float64bits(out[i]) != math.Float64bits(x[i]) {
+					t.Fatalf("no levels: out[%d]=%v is not a copy of x[%d]=%v", i, out[i], i, x[i])
+				}
+			}
+			return
+		}
+		allowed := map[uint64]bool{}
+		for _, l := range levels {
+			allowed[math.Float64bits(l)] = true
+		}
+		for i, v := range out {
+			if !allowed[math.Float64bits(v)] {
+				t.Fatalf("out[%d]=%v is not one of the %d levels", i, v, len(levels))
+			}
+		}
+	})
+}
+
+func floatBytes(vs ...float64) []byte {
+	b := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+func decodeFloats(b []byte) []float64 {
+	out := make([]float64, 0, len(b)/8)
+	for len(b) >= 8 {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(b)))
+		b = b[8:]
+	}
+	return out
+}

@@ -4,20 +4,34 @@
 #   ./scripts/bench.sh                     # full suite -> BENCH_seed.json
 #   BENCH=Telemetry ./scripts/bench.sh     # only the overhead benches
 #   BENCHTIME=2s OUT=bench.json ./scripts/bench.sh
+#   PARALLEL=1 ./scripts/bench.sh          # engine benches -> BENCH_parallel.json
 #
 # The JSON stream is `go test -json` output: one object per line, with
 # benchmark results in the Output fields of "output" actions. Compare
 # runs with `benchstat` or grep for the ns/op lines directly.
+#
+# PARALLEL=1 runs only the parallel experiment engine benchmarks:
+# BenchmarkExpAll (the full suite at 0/1/4 workers) and the runner's
+# BenchmarkRunnerWallClock (latency-bound jobs, where pool overlap shows
+# even on one CPU). Note ExpAll speedup is hardware-dependent: the jobs
+# are CPU-bound, so a host with one usable CPU shows parity there while
+# RunnerWallClock still demonstrates the pool's concurrency.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern="${BENCH:-.}"
 benchtime="${BENCHTIME:-1x}"
-out="${OUT:-BENCH_seed.json}"
 
-echo "== go test -bench $pattern -benchtime $benchtime -> $out"
-go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -json . > "$out"
+if [ "${PARALLEL:-0}" = "1" ]; then
+    out="${OUT:-BENCH_parallel.json}"
+    echo "== go test -bench 'ExpAll|RunnerWallClock' -benchtime $benchtime -> $out"
+    go test -run '^$' -bench 'ExpAll|RunnerWallClock' -benchmem -benchtime "$benchtime" -json . ./internal/runner > "$out"
+else
+    pattern="${BENCH:-.}"
+    out="${OUT:-BENCH_seed.json}"
+    echo "== go test -bench $pattern -benchtime $benchtime -> $out"
+    go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -json . > "$out"
+fi
 
 grep -o '"Output":".*ns/op[^"]*"' "$out" | sed 's/"Output":"//; s/\\t/  /g; s/\\n"//' || true
 echo "== wrote $out"
