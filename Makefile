@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench cover fuzz golden
+.PHONY: check vet build test race bench benchcmp cover fuzz golden
 
 # check is the default verify flow: vet + build + race-enabled tests.
 check:
@@ -29,6 +29,15 @@ golden:
 # for the BENCH / BENCHTIME / OUT knobs.
 bench:
 	./scripts/bench.sh
+
+# benchcmp re-runs the engine benchmarks into BENCH_alloc.json and
+# diffs them against the committed BENCH_parallel.json baseline,
+# failing on a >20% allocs/op regression in BenchmarkExpAll (the
+# steady-state loop is required to stay allocation-free; see DESIGN.md
+# "Hot path and memory discipline").
+benchcmp:
+	PARALLEL=1 OUT=BENCH_alloc.json ./scripts/bench.sh
+	$(GO) run ./cmd/benchcmp BENCH_parallel.json BENCH_alloc.json
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,201 @@
+// benchcmp compares two benchmark captures produced by scripts/bench.sh
+// (`go test -json` streams) and prints a benchstat-style delta table:
+//
+//	benchcmp [-gate pattern] [-max-regress pct] old.json new.json
+//
+// It exits non-zero when any benchmark matching -gate regressed its
+// allocs/op by more than -max-regress percent — the CI guard that keeps
+// the steady-state loop allocation-free. Benchmarks present in only one
+// file are listed but never gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result holds one benchmark line's metrics by unit (ns/op, B/op,
+// allocs/op, ...).
+type result struct {
+	name    string
+	metrics map[string]float64
+}
+
+// event is the subset of test2json's schema we need.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// parseFile reads a go test -json stream and extracts benchmark
+// results. Benchmark lines are split across multiple Output events (the
+// name flushes before the iteration count), so output is reassembled
+// per package before line parsing.
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	perPkg := map[string]*strings.Builder{}
+	var pkgs []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			// bench.sh streams may have a trailing human-readable echo;
+			// ignore anything that isn't a JSON event.
+			continue
+		}
+		if ev.Action != "output" || ev.Output == "" {
+			continue
+		}
+		b, ok := perPkg[ev.Package]
+		if !ok {
+			b = &strings.Builder{}
+			perPkg[ev.Package] = b
+			pkgs = append(pkgs, ev.Package)
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]result{}
+	for _, pkg := range pkgs {
+		for _, line := range strings.Split(perPkg[pkg].String(), "\n") {
+			if r, ok := parseBenchLine(line); ok {
+				out[r.name] = r
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseBenchLine parses "BenchmarkX/sub-8  \t 10 \t 123 ns/op \t 4 B/op ...".
+func parseBenchLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return result{}, false // second field must be the iteration count
+	}
+	r := result{name: fields[0], metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.metrics[fields[i+1]] = v
+	}
+	if len(r.metrics) == 0 {
+		return result{}, false
+	}
+	return r, true
+}
+
+func delta(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "0.00%"
+		}
+		return "+inf%"
+	}
+	return fmt.Sprintf("%+.2f%%", 100*(new-old)/old)
+}
+
+func human(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func main() {
+	gate := flag.String("gate", "^BenchmarkExpAll", "regexp of benchmarks whose allocs/op regression fails the run")
+	maxRegress := flag.Float64("max-regress", 20, "allowed allocs/op regression percent before exiting non-zero")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-gate re] [-max-regress pct] old.json new.json")
+		os.Exit(2)
+	}
+	gateRe, err := regexp.Compile(*gate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp: bad -gate:", err)
+		os.Exit(2)
+	}
+	oldRes, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	newRes, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	names := map[string]bool{}
+	for n := range oldRes {
+		names[n] = true
+	}
+	for n := range newRes {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	units := []string{"ns/op", "B/op", "allocs/op"}
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintf(w, "%-44s %-9s %12s %12s %9s\n", "benchmark", "unit", "old", "new", "delta")
+	failed := false
+	for _, n := range sorted {
+		o, haveOld := oldRes[n]
+		nw, haveNew := newRes[n]
+		if !haveOld || !haveNew {
+			fmt.Fprintf(w, "%-44s %-9s (only in %s file)\n", n, "-", map[bool]string{true: "old", false: "new"}[haveOld])
+			continue
+		}
+		for _, u := range units {
+			ov, okO := o.metrics[u]
+			nv, okN := nw.metrics[u]
+			if !okO || !okN {
+				continue
+			}
+			mark := ""
+			if u == "allocs/op" && gateRe.MatchString(n) {
+				if ov > 0 && 100*(nv-ov)/ov > *maxRegress {
+					mark = "  << FAIL (allocs/op regression > " + strconv.FormatFloat(*maxRegress, 'g', -1, 64) + "%)"
+					failed = true
+				}
+			}
+			fmt.Fprintf(w, "%-44s %-9s %12s %12s %9s%s\n", n, u, human(ov), human(nv), delta(ov, nv), mark)
+		}
+	}
+	w.Flush()
+	if failed {
+		os.Exit(1)
+	}
+}

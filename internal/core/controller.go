@@ -67,11 +67,18 @@ const ROBUnit = 16.0
 // normalized continuous input vector. The 2-input variant is
 // [freq GHz, L2 ways]; the 3-input variant appends ROB/16.
 func knobsFromConfig(cfg sim.Config, threeInput bool) []float64 {
-	u := []float64{cfg.FreqGHz(), float64(cfg.L2Ways())}
+	return knobsFromConfigInto(nil, cfg, threeInput)
+}
+
+// knobsFromConfigInto is knobsFromConfig appending into dst's backing
+// array (dst[:0] is reused); the per-step hot path passes a scratch
+// slice with capacity 3 so no allocation occurs.
+func knobsFromConfigInto(dst []float64, cfg sim.Config, threeInput bool) []float64 {
+	dst = append(dst[:0], cfg.FreqGHz(), float64(cfg.L2Ways()))
 	if threeInput {
-		u = append(u, float64(cfg.ROBEntries())/ROBUnit)
+		dst = append(dst, float64(cfg.ROBEntries())/ROBUnit)
 	}
-	return u
+	return dst
 }
 
 // ActuatorHysteresis is the fraction of a knob step the continuous

@@ -48,6 +48,20 @@ type MIMOController struct {
 	haveCur                bool
 	health                 Health
 	stepCount              uint64
+
+	// scr holds fixed-size scratch for the per-step conversions so Step
+	// allocates nothing in steady state. The arrays are struct values:
+	// Clone's shallow copy gives every clone independent scratch.
+	scr mimoScratch
+}
+
+// mimoScratch is sized for the worst case (3-input variant, 2 outputs).
+type mimoScratch struct {
+	y   [2]float64 // measured outputs, deviation coordinates
+	u   [3]float64 // requested knobs, absolute units
+	uq  [3]float64 // quantized knobs, absolute units
+	dq  [3]float64 // quantized knobs, deviation coordinates
+	ref [2]float64 // reference for TrySetTargets
 }
 
 // NewMIMOController wraps a designed LQG controller. Prefer DesignMIMO,
@@ -109,7 +123,8 @@ func (c *MIMOController) TrySetTargets(ips, power float64) error {
 		}
 		return fmt.Errorf("core: negative targets (%v BIPS, %v W)", ips, power)
 	}
-	ref := []float64{ips - c.off.Y0[0], power - c.off.Y0[1]}
+	ref := c.scr.ref[:]
+	ref[0], ref[1] = ips-c.off.Y0[0], power-c.off.Y0[1]
 	if err := c.lq.SetReference(ref); err != nil {
 		c.health.TargetErrors++
 		if m != nil {
@@ -157,7 +172,8 @@ func (c *MIMOController) Step(t sim.Telemetry) sim.Config {
 		c.cur = t.Config
 		c.haveCur = true
 	}
-	y := []float64{t.IPS - c.off.Y0[0], t.PowerW - c.off.Y0[1]}
+	y := c.scr.y[:]
+	y[0], y[1] = t.IPS-c.off.Y0[0], t.PowerW-c.off.Y0[1]
 	var du []float64
 	var err error
 	if timed {
@@ -189,14 +205,14 @@ func (c *MIMOController) Step(t sim.Telemetry) sim.Config {
 		}
 	}
 	// Deviation -> absolute knob units.
-	u := make([]float64, len(du))
+	u := c.scr.u[:len(du)]
 	for i := range du {
 		u[i] = du[i] + c.off.U0[i]
 	}
 	cfg := configFromKnobs(u, c.threeInput, c.cur)
 	// Report the quantized input back in deviation coordinates.
-	uq := knobsFromConfig(cfg, c.threeInput)
-	dq := make([]float64, len(uq))
+	uq := knobsFromConfigInto(c.scr.uq[:0], cfg, c.threeInput)
+	dq := c.scr.dq[:len(uq)]
 	for i := range uq {
 		dq[i] = uq[i] - c.off.U0[i]
 	}

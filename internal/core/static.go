@@ -78,9 +78,9 @@ func FindBestStatic(training []sim.Workload, k int, threeInput bool, epochsPerAp
 					if err := proc.Apply(cfg); err != nil {
 						return sim.Config{}, 0, err
 					}
-					proc.Run(20) // settle transients
+					proc.Advance(20) // settle transients
 					proc.ResetTotals()
-					proc.Run(epochsPerApp)
+					proc.Advance(epochsPerApp)
 					e, n, s := proc.Totals()
 					m := sim.EnergyDelayProduct(e, n, s, k)
 					if math.IsInf(m, 1) || m <= 0 {

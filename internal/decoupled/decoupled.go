@@ -40,6 +40,14 @@ type Controller struct {
 	// corrupt sensor cannot poison the two estimators.
 	goodIPS, goodPower float64
 	haveGood           bool
+
+	// Fixed-size scratch for the four one-element vectors each Step and
+	// SetTargets exchanges with the SISO loops, so the steady-state loop
+	// allocates nothing. Struct-value arrays: Clone's shallow copy gives
+	// every clone independent scratch.
+	scrCacheY, scrFreqY [1]float64
+	scrCacheU, scrFreqU [1]float64
+	scrCacheR, scrFreqR [1]float64
 }
 
 // DesignSpec parameterizes the two SISO designs.
@@ -185,10 +193,12 @@ func (c *Controller) SetTargets(ips, power float64) {
 	}
 	// The references are scalars per loop, so SetReference cannot fail
 	// dimensionally; a rejection keeps the previous reference.
-	if err := c.cacheLoop.SetReference([]float64{ips - c.cacheOff.Y0[0]}); err != nil {
+	c.scrCacheR[0] = ips - c.cacheOff.Y0[0]
+	if err := c.cacheLoop.SetReference(c.scrCacheR[:]); err != nil {
 		return
 	}
-	if err := c.freqLoop.SetReference([]float64{power - c.freqOff.Y0[0]}); err != nil {
+	c.scrFreqR[0] = power - c.freqOff.Y0[0]
+	if err := c.freqLoop.SetReference(c.scrFreqR[:]); err != nil {
 		return
 	}
 	c.ipsTarget, c.powerTarget = ips, power
@@ -224,11 +234,13 @@ func (c *Controller) Step(t sim.Telemetry) sim.Config {
 	}
 	c.goodIPS, c.goodPower, c.haveGood = ips, power, true
 	t.IPS, t.PowerW = ips, power
-	duCache, err := c.cacheLoop.Step([]float64{t.IPS - c.cacheOff.Y0[0]})
+	c.scrCacheY[0] = t.IPS - c.cacheOff.Y0[0]
+	duCache, err := c.cacheLoop.Step(c.scrCacheY[:])
 	if err != nil {
 		return c.cur
 	}
-	duFreq, err := c.freqLoop.Step([]float64{t.PowerW - c.freqOff.Y0[0]})
+	c.scrFreqY[0] = t.PowerW - c.freqOff.Y0[0]
+	duFreq, err := c.freqLoop.Step(c.scrFreqY[:])
 	if err != nil {
 		return c.cur
 	}
@@ -237,10 +249,12 @@ func (c *Controller) Step(t sim.Telemetry) sim.Config {
 	cfg := sim.NearestConfigHysteresis(freq, ways, float64(c.cur.ROBEntries()), c.cur, core.ActuatorHysteresis)
 	cfg.ROBIdx = c.cur.ROBIdx
 	// Quantization feedback per loop.
-	if err := c.cacheLoop.ObserveApplied([]float64{float64(cfg.L2Ways()) - c.cacheOff.U0[0]}); err == nil {
+	c.scrCacheU[0] = float64(cfg.L2Ways()) - c.cacheOff.U0[0]
+	if err := c.cacheLoop.ObserveApplied(c.scrCacheU[:]); err == nil {
 		c.cur.CacheIdx = cfg.CacheIdx
 	}
-	if err := c.freqLoop.ObserveApplied([]float64{cfg.FreqGHz() - c.freqOff.U0[0]}); err == nil {
+	c.scrFreqU[0] = cfg.FreqGHz() - c.freqOff.U0[0]
+	if err := c.freqLoop.ObserveApplied(c.scrFreqU[:]); err == nil {
 		c.cur.FreqIdx = cfg.FreqIdx
 	}
 	return c.cur

@@ -401,15 +401,20 @@ func (s *Searcher) Step(t sim.Telemetry) sim.Config {
 			s.bestMetric = s.metric(ips, p)
 			// Rank features by expected impact for this application
 			// (Isci-style): memory-bound apps rank the cache first.
+			// Reuse the rank slice's backing array across search
+			// episodes: a long-lived searcher re-ranks every period and
+			// must not allocate in steady state.
 			if l2 > s.opts.MemBoundL2MPKI {
-				s.rank = []knob{knobCache, knobFreq}
 				if s.opts.ThreeInput {
-					s.rank = []knob{knobCache, knobROB, knobFreq}
+					s.rank = append(s.rank[:0], knobCache, knobROB, knobFreq)
+				} else {
+					s.rank = append(s.rank[:0], knobCache, knobFreq)
 				}
 			} else {
-				s.rank = []knob{knobFreq, knobCache}
 				if s.opts.ThreeInput {
-					s.rank = []knob{knobFreq, knobROB, knobCache}
+					s.rank = append(s.rank[:0], knobFreq, knobROB, knobCache)
+				} else {
+					s.rank = append(s.rank[:0], knobFreq, knobCache)
 				}
 			}
 			s.rankPos = 0

@@ -19,6 +19,15 @@ type KalmanFilter struct {
 	lc    *mat.Matrix // filtered-form gain
 	p     *mat.Matrix // steady-state prediction covariance
 	xhat  []float64   // one-step-ahead estimate x̂(t|t-1)
+
+	// Scratch vectors reused by Update so the steady-state loop
+	// performs zero heap allocations.
+	cy    []float64 // C·x̂       (outputs)
+	innov []float64 // y - C·x̂   (outputs)
+	lcv   []float64 // Lc·innov   (order)
+	xc    []float64 // x̂(t|t)    (order)
+	ax    []float64 // A·xc       (order)
+	bu    []float64 // B·u        (order)
 }
 
 // NewKalmanFilter solves the estimator DARE and returns a ready filter
@@ -50,25 +59,40 @@ func NewKalmanFilter(plant *lti.StateSpace, noise Noise) (*KalmanFilter, error) 
 		lc:    mat.MulChain(sol, plant.C.T(), sinv),
 		p:     sol,
 		xhat:  make([]float64, n),
+		cy:    make([]float64, no),
+		innov: make([]float64, no),
+		lcv:   make([]float64, n),
+		xc:    make([]float64, n),
+		ax:    make([]float64, n),
+		bu:    make([]float64, n),
 	}, nil
 }
 
-// Reset clears the estimate (optionally to a known initial state).
+// Reset clears the estimate (optionally to a known initial state). The
+// existing estimate buffer is reused, so resetting never allocates and
+// never invalidates slices previously returned by Predicted (those are
+// independent copies).
 func (k *KalmanFilter) Reset(x0 []float64) error {
 	n := k.plant.Order()
 	if x0 == nil {
-		k.xhat = make([]float64, n)
+		for i := range k.xhat {
+			k.xhat[i] = 0
+		}
 		return nil
 	}
 	if len(x0) != n {
 		return fmt.Errorf("lqg: x0 has length %d, want %d", len(x0), n)
 	}
-	k.xhat = append([]float64(nil), x0...)
+	copy(k.xhat, x0)
 	return nil
 }
 
 // Update consumes the measurement y(t) and the input u(t) applied over
 // the next interval, and returns the filtered estimate x̂(t|t).
+//
+// The returned slice is owned by the filter's scratch workspace: it is
+// valid only until the next Update. Callers that retain it must copy
+// it first. Update performs zero heap allocations.
 func (k *KalmanFilter) Update(y, u []float64) ([]float64, error) {
 	p := k.plant
 	if len(y) != p.Outputs() {
@@ -77,17 +101,22 @@ func (k *KalmanFilter) Update(y, u []float64) ([]float64, error) {
 	if len(u) != p.Inputs() {
 		return nil, fmt.Errorf("lqg: u has length %d, want %d", len(u), p.Inputs())
 	}
-	innov := mat.VecSub(y, mat.MulVec(p.C, k.xhat))
-	xc := mat.VecAdd(k.xhat, mat.MulVec(k.lc, innov))
-	k.xhat = mat.VecAdd(mat.MulVec(p.A, xc), mat.MulVec(p.B, u))
+	mat.MulVecInto(k.cy, p.C, k.xhat)
+	innov := mat.VecSubInto(k.innov, y, k.cy)
+	xc := mat.VecAddInto(k.xc, k.xhat, mat.MulVecInto(k.lcv, k.lc, innov))
+	mat.MulVecInto(k.ax, p.A, xc)
+	mat.MulVecInto(k.bu, p.B, u)
+	mat.VecAddInto(k.xhat, k.ax, k.bu)
 	return xc, nil
 }
 
-// Predicted returns the current one-step-ahead estimate x̂(t|t-1).
+// Predicted returns the current one-step-ahead estimate x̂(t|t-1) as a
+// fresh copy that the caller may retain and mutate freely: it never
+// aliases filter-internal state and later Updates do not change it.
 func (k *KalmanFilter) Predicted() []float64 { return append([]float64(nil), k.xhat...) }
 
 // PredictedOutput returns ŷ(t) = C x̂(t|t-1), the filter's expectation of
-// the next measurement.
+// the next measurement, as a fresh copy safe to retain across Updates.
 func (k *KalmanFilter) PredictedOutput() []float64 {
 	return mat.MulVec(k.plant.C, k.xhat)
 }

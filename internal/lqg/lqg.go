@@ -101,6 +101,63 @@ type Controller struct {
 	ref        []float64 // current output reference (deviation coordinates)
 	xss        []float64
 	uss        []float64
+
+	// ws holds the per-controller scratch vectors the runtime methods
+	// reuse so the steady-state loop allocates nothing.
+	ws *stepWorkspace
+}
+
+// stepWorkspace is the scratch storage for Step, ObserveApplied, and
+// SetReference. Every vector is preallocated to the plant's dimensions
+// at Reset/Clone time; no runtime method allocates after that. A
+// workspace belongs to exactly one controller — Clone installs a fresh
+// one so clones can step concurrently.
+type stepWorkspace struct {
+	cy      []float64 // C·x̂                     (outputs)
+	lcv     []float64 // Lc·innov                 (order)
+	xc      []float64 // filtered state estimate  (order)
+	dx      []float64 // xc - xss                 (order)
+	du      []float64 // uPrev - uss              (inputs)
+	kv      []float64 // gain-times-vector        (inputs)
+	v       []float64 // Δu feedback              (inputs)
+	u       []float64 // issued input             (inputs)
+	ax      []float64 // A·xc                     (order)
+	bu      []float64 // B·u                      (order)
+	obsDiff []float64 // applied - requested      (inputs)
+	bdiff   []float64 // B·obsDiff                (order)
+	tgt     []float64 // targetGain·r             (order+inputs)
+}
+
+func newStepWorkspace(p *lti.StateSpace) *stepWorkspace {
+	n, ni, no := p.Order(), p.Inputs(), p.Outputs()
+	return &stepWorkspace{
+		cy:      make([]float64, no),
+		lcv:     make([]float64, n),
+		xc:      make([]float64, n),
+		dx:      make([]float64, n),
+		du:      make([]float64, ni),
+		kv:      make([]float64, ni),
+		v:       make([]float64, ni),
+		u:       make([]float64, ni),
+		ax:      make([]float64, n),
+		bu:      make([]float64, n),
+		obsDiff: make([]float64, ni),
+		bdiff:   make([]float64, n),
+		tgt:     make([]float64, n+ni),
+	}
+}
+
+// zeroed returns s resized to length n with every entry zero, reusing
+// the backing array when it is large enough.
+func zeroed(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // Design builds an LQG servo controller for the plant. The plant must
@@ -305,21 +362,26 @@ func (c *Controller) Clone() *Controller {
 	d.ref = append([]float64(nil), c.ref...)
 	d.xss = append([]float64(nil), c.xss...)
 	d.uss = append([]float64(nil), c.uss...)
+	d.ws = newStepWorkspace(c.plant)
 	return &d
 }
 
 // Reset clears the runtime state (estimate, integrators, previous input)
-// and the reference.
+// and the reference, reusing the existing buffers when their capacity
+// allows.
 func (c *Controller) Reset() {
 	p := c.plant
-	c.xhat = make([]float64, p.Order())
-	c.uPrev = make([]float64, p.Inputs())
-	c.zInt = make([]float64, p.Outputs())
-	c.lastExcess = make([]float64, p.Inputs())
-	c.lastInnov = make([]float64, p.Outputs())
-	c.ref = make([]float64, p.Outputs())
-	c.xss = make([]float64, p.Order())
-	c.uss = make([]float64, p.Inputs())
+	c.xhat = zeroed(c.xhat, p.Order())
+	c.uPrev = zeroed(c.uPrev, p.Inputs())
+	c.zInt = zeroed(c.zInt, p.Outputs())
+	c.lastExcess = zeroed(c.lastExcess, p.Inputs())
+	c.lastInnov = zeroed(c.lastInnov, p.Outputs())
+	c.ref = zeroed(c.ref, p.Outputs())
+	c.xss = zeroed(c.xss, p.Order())
+	c.uss = zeroed(c.uss, p.Inputs())
+	if c.ws == nil {
+		c.ws = newStepWorkspace(p)
+	}
 }
 
 // SetReference updates the output targets (in the model's deviation
@@ -328,11 +390,11 @@ func (c *Controller) SetReference(r []float64) error {
 	if len(r) != c.plant.Outputs() {
 		return fmt.Errorf("lqg: reference has %d entries, want %d", len(r), c.plant.Outputs())
 	}
-	c.ref = append([]float64(nil), r...)
-	t := mat.MulVec(c.targetGain, r)
+	c.ref = append(c.ref[:0], r...)
+	t := mat.MulVecInto(c.ws.tgt, c.targetGain, r)
 	n := c.plant.Order()
-	c.xss = t[:n]
-	c.uss = t[n:]
+	c.xss = append(c.xss[:0], t[:n]...)
+	c.uss = append(c.uss[:0], t[n:]...)
 	return nil
 }
 
@@ -343,31 +405,37 @@ func (c *Controller) Reference() []float64 { return append([]float64(nil), c.ref
 // returns the input to apply for the next interval (deviation
 // coordinates). It performs: Kalman measurement update, integrator
 // update, LQR feedback, and Kalman time update.
+//
+// The returned slice is owned by the controller's workspace: it stays
+// valid (and unmodified) only until the next Step, Reset, or Clone.
+// Callers that retain it across steps must copy it first. Step
+// performs no heap allocation.
 func (c *Controller) Step(y []float64) ([]float64, error) {
 	p := c.plant
 	if len(y) != p.Outputs() {
 		return nil, fmt.Errorf("lqg: output has %d entries, want %d", len(y), p.Outputs())
 	}
+	w := c.ws
 	// Measurement update: x̂ᶜ = x̂ + Lc (y - C x̂).
-	innov := mat.VecSub(y, mat.MulVec(p.C, c.xhat))
-	c.lastInnov = append(c.lastInnov[:0], innov...)
-	xc := mat.VecAdd(c.xhat, mat.MulVec(c.lc, innov))
+	mat.MulVecInto(w.cy, p.C, c.xhat)
+	innov := mat.VecSubInto(c.lastInnov, y, w.cy)
+	xc := mat.VecAddInto(w.xc, c.xhat, mat.MulVecInto(w.lcv, c.lc, innov))
 	// Feedback v = -K x̃ with x̃ = [δx; δu_prev; z] (pre-update z, as in
 	// the design dynamics; the DARE gain fixes all signs).
-	var u []float64
-	dx := mat.VecSub(xc, c.xss)
+	u := w.u
+	dx := mat.VecSubInto(w.dx, xc, c.xss)
 	if c.opts.DeltaU {
-		du := mat.VecSub(c.uPrev, c.uss)
-		v := mat.VecScale(-1, mat.MulVec(c.kx, dx))
-		v = mat.VecSub(v, mat.MulVec(c.ku, du))
+		du := mat.VecSubInto(w.du, c.uPrev, c.uss)
+		v := mat.VecScaleInto(w.v, -1, mat.MulVecInto(w.kv, c.kx, dx))
+		mat.VecSubInto(v, v, mat.MulVecInto(w.kv, c.ku, du))
 		if c.opts.Integral {
-			v = mat.VecSub(v, mat.MulVec(c.kz, c.zInt))
+			mat.VecSubInto(v, v, mat.MulVecInto(w.kv, c.kz, c.zInt))
 		}
-		u = mat.VecAdd(c.uPrev, v)
+		mat.VecAddInto(u, c.uPrev, v)
 	} else {
-		u = mat.VecSub(c.uss, mat.MulVec(c.kx, dx))
+		mat.VecSubInto(u, c.uss, mat.MulVecInto(w.kv, c.kx, dx))
 		if c.opts.Integral {
-			u = mat.VecSub(u, mat.MulVec(c.kz, c.zInt))
+			mat.VecSubInto(u, u, mat.MulVecInto(w.kv, c.kz, c.zInt))
 		}
 	}
 	// Integrator update: z += (r - y), matching z⁺ = z - C δx.
@@ -393,9 +461,11 @@ func (c *Controller) Step(y []float64) ([]float64, error) {
 		}
 	}
 	// Time update with the input we are about to apply.
-	c.xhat = mat.VecAdd(mat.MulVec(p.A, xc), mat.MulVec(p.B, u))
-	c.uPrev = append([]float64(nil), u...)
-	return append([]float64(nil), u...), nil
+	mat.MulVecInto(w.ax, p.A, xc)
+	mat.MulVecInto(w.bu, p.B, u)
+	mat.VecAddInto(c.xhat, w.ax, w.bu)
+	copy(c.uPrev, u)
+	return u, nil
 }
 
 // ObserveApplied informs the controller of the input actually applied
@@ -412,10 +482,11 @@ func (c *Controller) ObserveApplied(u []float64) error {
 	}
 	// Undo the optimistic time update and redo with the actual input:
 	// x̂ was A x̂ᶜ + B u_req; replace the B u term.
-	diff := mat.VecSub(u, c.uPrev)
-	c.xhat = mat.VecAdd(c.xhat, mat.MulVec(p.B, diff))
-	c.lastExcess = mat.VecScale(-1, diff) // u_requested - u_applied
-	c.uPrev = append([]float64(nil), u...)
+	w := c.ws
+	diff := mat.VecSubInto(w.obsDiff, u, c.uPrev)
+	mat.VecAddInto(c.xhat, c.xhat, mat.MulVecInto(w.bdiff, p.B, diff))
+	mat.VecScaleInto(c.lastExcess, -1, diff) // u_requested - u_applied
+	copy(c.uPrev, u)
 	return nil
 }
 

@@ -18,15 +18,53 @@ func (s *StateSpace) FrequencyResponse(omega float64) (*mat.CMatrix, error) {
 
 // EvalTransfer evaluates G(z) at an arbitrary complex point z.
 func (s *StateSpace) EvalTransfer(z complex128) (*mat.CMatrix, error) {
+	return newTransferEval(s).eval(z)
+}
+
+// transferEval evaluates G(z) = C (zI - A)⁻¹ B + D repeatedly with a
+// preallocated workspace: the complex copies of (A, B, C, D) are built
+// once and every intermediate is reused across evaluations. A frequency
+// sweep (HInfNorm walks ~600 grid and refinement points per call)
+// otherwise allocates seven complex matrices per point. The in-place
+// kernels perform the same arithmetic as the allocating ones, so sweep
+// results are bit-identical to repeated EvalTransfer calls.
+//
+// The workspace makes an evaluator single-goroutine; each sweep builds
+// its own rather than caching one on the (shared) StateSpace.
+type transferEval struct {
+	ident, cA, cB, cC, cD *mat.CMatrix // fixed once built
+	zi, m, lu, x, g, out  *mat.CMatrix // scratch, rewritten per eval
+}
+
+func newTransferEval(s *StateSpace) *transferEval {
 	n := s.Order()
-	zi := mat.CScale(z, mat.CIdentity(n))
-	m := mat.CSub(zi, mat.CFromReal(s.A))
-	x, err := mat.CSolve(m, mat.CFromReal(s.B))
-	if err != nil {
+	ni := s.Inputs()
+	no := s.Outputs()
+	return &transferEval{
+		ident: mat.CIdentity(n),
+		cA:    mat.CFromReal(s.A),
+		cB:    mat.CFromReal(s.B),
+		cC:    mat.CFromReal(s.C),
+		cD:    mat.CFromReal(s.D),
+		zi:    mat.CNew(n, n),
+		m:     mat.CNew(n, n),
+		lu:    mat.CNew(n, n),
+		x:     mat.CNew(n, ni),
+		g:     mat.CNew(no, ni),
+		out:   mat.CNew(no, ni),
+	}
+}
+
+// eval returns G(z). The result is workspace-owned: it is valid until
+// the next eval call, and callers that retain it must clone it.
+func (e *transferEval) eval(z complex128) (*mat.CMatrix, error) {
+	mat.CScaleInto(e.zi, z, e.ident)
+	mat.CSubInto(e.m, e.zi, e.cA)
+	if err := mat.CSolveInto(e.x, e.lu, e.m, e.cB); err != nil {
 		return nil, fmt.Errorf("lti: transfer evaluation at z=%v: %w", z, err)
 	}
-	g := mat.CMul(mat.CFromReal(s.C), x)
-	return mat.CAdd(g, mat.CFromReal(s.D)), nil
+	mat.CMulInto(e.g, e.cC, e.x)
+	return mat.CAddInto(e.out, e.g, e.cD), nil
 }
 
 // HInfNorm estimates the H∞ norm of a stable discrete system: the peak
@@ -39,8 +77,11 @@ func (s *StateSpace) HInfNorm(nGrid int) (norm, peakOmega float64, err error) {
 		nGrid = 256
 	}
 	nyquist := math.Pi / s.Ts
+	// One workspace for the whole sweep; identical arithmetic to calling
+	// FrequencyResponse per point.
+	ev := newTransferEval(s)
 	eval := func(w float64) (float64, error) {
-		g, err := s.FrequencyResponse(w)
+		g, err := ev.eval(cmplx.Exp(complex(0, w*s.Ts)))
 		if err != nil {
 			return 0, err
 		}

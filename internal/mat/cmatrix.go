@@ -121,51 +121,10 @@ func CSolve(a, b *CMatrix) (*CMatrix, error) {
 	if b.rows != a.rows {
 		return nil, fmt.Errorf("mat: CSolve shape mismatch %dx%d vs n=%d", b.rows, b.cols, a.rows)
 	}
-	n := a.rows
 	lu := a.Clone()
 	x := b.Clone()
-	for k := 0; k < n; k++ {
-		p := k
-		mx := cmplx.Abs(lu.data[k*n+k])
-		for i := k + 1; i < n; i++ {
-			if v := cmplx.Abs(lu.data[i*n+k]); v > mx {
-				mx, p = v, i
-			}
-		}
-		if mx == 0 {
-			return nil, ErrSingular
-		}
-		if p != k {
-			for j := 0; j < n; j++ {
-				lu.data[p*n+j], lu.data[k*n+j] = lu.data[k*n+j], lu.data[p*n+j]
-			}
-			for j := 0; j < x.cols; j++ {
-				x.data[p*x.cols+j], x.data[k*x.cols+j] = x.data[k*x.cols+j], x.data[p*x.cols+j]
-			}
-		}
-		piv := lu.data[k*n+k]
-		for i := k + 1; i < n; i++ {
-			m := lu.data[i*n+k] / piv
-			if m == 0 {
-				continue
-			}
-			lu.data[i*n+k] = m
-			for j := k + 1; j < n; j++ {
-				lu.data[i*n+j] -= m * lu.data[k*n+j]
-			}
-			for j := 0; j < x.cols; j++ {
-				x.data[i*x.cols+j] -= m * x.data[k*x.cols+j]
-			}
-		}
-	}
-	for i := n - 1; i >= 0; i-- {
-		for j := 0; j < x.cols; j++ {
-			s := x.data[i*x.cols+j]
-			for k := i + 1; k < n; k++ {
-				s -= lu.data[i*n+k] * x.data[k*x.cols+j]
-			}
-			x.data[i*x.cols+j] = s / lu.data[i*n+i]
-		}
+	if err := cSolveInPlace(lu, x); err != nil {
+		return nil, err
 	}
 	return x, nil
 }
@@ -183,9 +142,12 @@ func CNorm2(a *CMatrix) float64 {
 		v[i] = complex(1/float64(n)+float64(i%3)*0.01, 0)
 	}
 	var lam float64
+	// w, z are reused across iterations: w is fully overwritten, z is
+	// re-zeroed before accumulation, so results match the naive form.
+	w := make([]complex128, a.rows)
+	z := make([]complex128, n)
 	for iter := 0; iter < 200; iter++ {
 		// w = A*v.
-		w := make([]complex128, a.rows)
 		for i := 0; i < a.rows; i++ {
 			var s complex128
 			for j := 0; j < n; j++ {
@@ -194,7 +156,9 @@ func CNorm2(a *CMatrix) float64 {
 			w[i] = s
 		}
 		// z = Aᴴ*w.
-		z := make([]complex128, n)
+		for i := range z {
+			z[i] = 0
+		}
 		for i := 0; i < a.rows; i++ {
 			wi := w[i]
 			for j := 0; j < n; j++ {

@@ -1,0 +1,198 @@
+package mat
+
+import "fmt"
+
+// This file holds the destination-passing ("Into") variants of the hot
+// arithmetic kernels. They exist so steady-state control loops can run
+// without allocating: the caller owns dst and reuses it every step.
+//
+// Aliasing contract
+//
+// Two slices "share storage" when they are backed by the same array,
+// even at different offsets. Every function below documents which of
+// the three cases it supports:
+//
+//   - no aliasing: dst must not share storage with any operand;
+//   - exact aliasing: dst may be the very same slice (same base
+//     pointer and length) as an operand, but must not otherwise
+//     overlap it;
+//   - any aliasing: dst may overlap operands arbitrarily.
+//
+// Violations are detected (without unsafe) whenever the slices expose
+// their backing array's tail through cap, and panic. Matrices built by
+// this package always own a whole backing array, and RowView
+// deliberately leaves the cap un-truncated, so in practice every
+// illegal overlap between package-built values is caught.
+//
+// Every Into kernel performs bit-identical arithmetic to its
+// allocating counterpart: same loop structure, same operation order,
+// including Mul's zero-skip. Replacing X(...) with XInto(dst, ...)
+// never changes a single output bit.
+
+// sharedArray reports whether a and b are backed by the same array. It
+// identifies an array by the address of its final element, reachable
+// through cap; slices with cap 0 share nothing observable.
+func sharedArray(a, b []float64) bool {
+	if cap(a) == 0 || cap(b) == 0 {
+		return false
+	}
+	return &a[:cap(a)][cap(a)-1] == &b[:cap(b)][cap(b)-1]
+}
+
+// exactAlias reports whether a and b are the identical slice: same
+// base pointer and same length.
+func exactAlias(a, b []float64) bool {
+	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
+}
+
+// checkNoAlias panics if dst shares a backing array with v at all.
+func checkNoAlias(op string, dst, v []float64) {
+	if sharedArray(dst, v) {
+		panic("mat: " + op + ": dst must not share storage with an operand")
+	}
+}
+
+// checkExactAlias panics if dst overlaps v without being the identical
+// slice.
+func checkExactAlias(op string, dst, v []float64) {
+	if sharedArray(dst, v) && !exactAlias(dst, v) {
+		panic("mat: " + op + ": dst partially overlaps an operand")
+	}
+}
+
+func intoShape(op string, dst *Matrix, r, c int) {
+	if dst.rows != r || dst.cols != c {
+		panic(fmt.Sprintf("mat: %s dst is %dx%d, want %dx%d", op, dst.rows, dst.cols, r, c))
+	}
+}
+
+// AddInto stores a + b into dst and returns dst. All three must share
+// one shape. Exact aliasing: dst may be a and/or b.
+func AddInto(dst, a, b *Matrix) *Matrix {
+	sameShape("AddInto", a, b)
+	intoShape("AddInto", dst, a.rows, a.cols)
+	checkExactAlias("AddInto", dst.data, a.data)
+	checkExactAlias("AddInto", dst.data, b.data)
+	for i, v := range a.data {
+		dst.data[i] = v + b.data[i]
+	}
+	return dst
+}
+
+// SubInto stores a - b into dst and returns dst. All three must share
+// one shape. Exact aliasing: dst may be a and/or b.
+func SubInto(dst, a, b *Matrix) *Matrix {
+	sameShape("SubInto", a, b)
+	intoShape("SubInto", dst, a.rows, a.cols)
+	checkExactAlias("SubInto", dst.data, a.data)
+	checkExactAlias("SubInto", dst.data, b.data)
+	for i, v := range a.data {
+		dst.data[i] = v - b.data[i]
+	}
+	return dst
+}
+
+// ScaleInto stores s * a into dst and returns dst. dst and a must share
+// one shape. Exact aliasing: dst may be a.
+func ScaleInto(dst *Matrix, s float64, a *Matrix) *Matrix {
+	intoShape("ScaleInto", dst, a.rows, a.cols)
+	checkExactAlias("ScaleInto", dst.data, a.data)
+	for i, v := range a.data {
+		dst.data[i] = s * v
+	}
+	return dst
+}
+
+// MulInto stores the matrix product a * b into dst and returns dst.
+// dst must be a.Rows() x b.Cols(). No aliasing: dst must not share
+// storage with a or b (the product reads every operand entry after the
+// first dst write).
+func MulInto(dst, a, b *Matrix) *Matrix {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: MulInto dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	intoShape("MulInto", dst, a.rows, b.cols)
+	checkNoAlias("MulInto", dst.data, a.data)
+	checkNoAlias("MulInto", dst.data, b.data)
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		crow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// MulVecInto stores the matrix-vector product a*x into dst and returns
+// dst. dst must have length a.Rows(). No aliasing: dst must not share
+// storage with a's data or with x.
+func MulVecInto(dst []float64, a *Matrix, x []float64) []float64 {
+	if a.cols != len(x) {
+		panic(fmt.Sprintf("mat: MulVecInto dimension mismatch %dx%d * len %d", a.rows, a.cols, len(x)))
+	}
+	if len(dst) != a.rows {
+		panic(fmt.Sprintf("mat: MulVecInto dst has len %d, want %d", len(dst), a.rows))
+	}
+	checkNoAlias("MulVecInto", dst, a.data)
+	checkNoAlias("MulVecInto", dst, x)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// VecSubInto stores x - y into dst and returns dst. All three must
+// share one length. Exact aliasing: dst may be x and/or y.
+func VecSubInto(dst, x, y []float64) []float64 {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic(fmt.Sprintf("mat: VecSubInto length mismatch dst %d, x %d, y %d", len(dst), len(x), len(y)))
+	}
+	checkExactAlias("VecSubInto", dst, x)
+	checkExactAlias("VecSubInto", dst, y)
+	for i := range x {
+		dst[i] = x[i] - y[i]
+	}
+	return dst
+}
+
+// VecAddInto stores x + y into dst and returns dst. All three must
+// share one length. Exact aliasing: dst may be x and/or y.
+func VecAddInto(dst, x, y []float64) []float64 {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic(fmt.Sprintf("mat: VecAddInto length mismatch dst %d, x %d, y %d", len(dst), len(x), len(y)))
+	}
+	checkExactAlias("VecAddInto", dst, x)
+	checkExactAlias("VecAddInto", dst, y)
+	for i := range x {
+		dst[i] = x[i] + y[i]
+	}
+	return dst
+}
+
+// VecScaleInto stores s*x into dst and returns dst. dst and x must
+// share one length. Exact aliasing: dst may be x.
+func VecScaleInto(dst []float64, s float64, x []float64) []float64 {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("mat: VecScaleInto length mismatch dst %d, x %d", len(dst), len(x)))
+	}
+	checkExactAlias("VecScaleInto", dst, x)
+	for i, v := range x {
+		dst[i] = s * v
+	}
+	return dst
+}

@@ -139,6 +139,19 @@ func (m *Matrix) Row(i int) []float64 {
 	return out
 }
 
+// RowView returns row i as a slice aliasing the matrix storage: writes
+// through the slice mutate the matrix. The cap is deliberately left
+// un-truncated (it reaches the end of the backing array) so the
+// in-place kernels' overlap detection can see that two views share a
+// matrix; consequently the returned slice must never be appended to.
+// Use Row for an independent copy.
+func (m *Matrix) RowView(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range for %dx%d", i, m.rows, m.cols))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
 // Col returns a copy of column j as a slice.
 func (m *Matrix) Col(j int) []float64 {
 	if j < 0 || j >= m.cols {

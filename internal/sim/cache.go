@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Set-associative cache simulator with LRU replacement and way power
@@ -94,10 +95,47 @@ func (c *Cache) SetEnabledWays(w int) error {
 	return nil
 }
 
+// renormalizeAges restores stamp headroom when ageTick is about to
+// wrap.
+//
+// Invariant: lruAge stamps are only ever compared within one set, and a
+// larger stamp always means more recently touched; ageTick is the
+// strictly increasing stamp source. If the tick wrapped to zero, every
+// fresh stamp would compare older than the resident ones and Access
+// would evict the most recently used line instead of the least.
+// Renormalization re-stamps each set's ways with their rank in age
+// order (1..Ways) — preserving the relative order, the only property
+// Access reads — and restarts the tick just above the largest stamp.
+func (c *Cache) renormalizeAges() {
+	ways := c.geom.Ways
+	sets := c.geom.Sets()
+	ranks := make([]uint64, ways)
+	for s := 0; s < sets; s++ {
+		ages := c.lruAge[s*ways : (s+1)*ways]
+		for w := range ages {
+			// O(Ways²) ranking; this path runs once per 2^64 accesses.
+			// Ties (e.g. never-touched ways, both stamped 0) break by
+			// way index for determinism.
+			rank := uint64(1)
+			for v := range ages {
+				if ages[v] < ages[w] || (ages[v] == ages[w] && v < w) {
+					rank++
+				}
+			}
+			ranks[w] = rank
+		}
+		copy(ages, ranks)
+	}
+	c.ageTick = uint64(ways)
+}
+
 // Access looks up the line containing addr, updating LRU state and
 // filling on miss. It reports whether the access hit.
 func (c *Cache) Access(addr uint64) bool {
 	c.accesses++
+	if c.ageTick == math.MaxUint64 {
+		c.renormalizeAges()
+	}
 	c.ageTick++
 	line := addr / uint64(c.geom.LineBytes)
 	sets := uint64(c.geom.Sets())
@@ -206,12 +244,99 @@ type MissCurvePoint struct {
 	MissRate float64
 }
 
-// CalibrateMissCurve replays a trace through copies of the cache at each
-// enabled-way count from 1 to the full associativity and reports the
-// steady-state miss rate per way count (warming up on the first warmup
-// accesses). This is how the workload profiles' analytic miss curves
-// were fit against the true cache behaviour.
+// CalibrateMissCurve reports the steady-state miss rate at every
+// enabled-way count from 1 to the full associativity (warming up on the
+// first warmup accesses). This is how the workload profiles' analytic
+// miss curves were fit against the true cache behaviour.
+//
+// It runs Mattson's LRU stack-distance algorithm: a single pass over
+// the trace maintains, per set, the distinct lines ordered most- to
+// least-recently used. An access whose line sits at stack depth d would
+// hit in every cache with at least d ways and miss in every smaller
+// one, so one histogram of hit depths yields the miss rate for all way
+// counts at once — W times cheaper than replaying the trace per way
+// count.
+//
+// The result is bit-for-bit identical to the per-way replay
+// (CalibrateMissCurveReplay, kept as the test oracle): the set index
+// derives from the full geometry, so way gating changes a set's
+// capacity but never its mapping; an LRU cache with w enabled ways
+// holds exactly the w most recently used distinct lines of each set
+// (invalid-way fills are just a shorter stack); and the miss counts are
+// exact integers divided identically.
 func CalibrateMissCurve(g CacheGeometry, trace []uint64, warmup int) ([]MissCurvePoint, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if warmup < 0 {
+		return nil, errors.New("sim: negative warmup")
+	}
+	if warmup >= len(trace) {
+		return nil, errors.New("sim: warmup consumes the whole trace")
+	}
+	sets := g.Sets()
+	w := g.Ways
+	// stack[set*w : set*w+size[set]] holds the set's distinct lines,
+	// most recently used first.
+	stack := make([]int64, sets*w)
+	size := make([]int, sets)
+	// hits[d] counts post-warmup accesses with stack distance exactly d.
+	hits := make([]uint64, w+1)
+	var counted uint64
+	lineBytes := uint64(g.LineBytes)
+	usets := uint64(sets)
+	for idx, addr := range trace {
+		line := addr / lineBytes
+		set := int(line % usets)
+		tag := int64(line / usets)
+		base := set * w
+		n := size[set]
+		s := stack[base : base+n]
+		depth := 0 // 1-based stack distance; 0 = not resident at any size
+		for i, tg := range s {
+			if tg == tag {
+				depth = i + 1
+				break
+			}
+		}
+		if idx >= warmup {
+			counted++
+			if depth > 0 {
+				hits[depth]++
+			}
+		}
+		// Move the line to the front; on a cold line, grow the stack up
+		// to the full associativity (beyond that the LRU line falls off).
+		if depth > 0 {
+			copy(s[1:depth], s[:depth-1])
+			s[0] = tag
+		} else {
+			if n < w {
+				n++
+				size[set] = n
+				s = stack[base : base+n]
+			}
+			copy(s[1:], s[:n-1])
+			s[0] = tag
+		}
+	}
+	out := make([]MissCurvePoint, 0, w)
+	var cum uint64
+	for ways := 1; ways <= w; ways++ {
+		cum += hits[ways]
+		out = append(out, MissCurvePoint{Ways: ways, MissRate: float64(counted-cum) / float64(counted)})
+	}
+	return out, nil
+}
+
+// CalibrateMissCurveReplay replays the trace through a fresh cache per
+// enabled-way count — W full passes. It is the brute-force oracle the
+// single-pass CalibrateMissCurve is verified against; both return
+// identical results for every way count.
+func CalibrateMissCurveReplay(g CacheGeometry, trace []uint64, warmup int) ([]MissCurvePoint, error) {
+	if warmup < 0 {
+		return nil, errors.New("sim: negative warmup")
+	}
 	if warmup >= len(trace) {
 		return nil, errors.New("sim: warmup consumes the whole trace")
 	}

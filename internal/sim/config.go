@@ -183,13 +183,16 @@ func NearestConfigHysteresis(freqGHz, l2Ways, robEntries float64, cur Config, ma
 	}
 }
 
-func robLevelsFloat() []float64 {
-	out := make([]float64, len(ROBSettings))
-	for i, r := range ROBSettings {
-		out[i] = float64(r)
-	}
-	return out
-}
+// robLevelsAsc and cacheWaysAsc are precomputed, read-only level tables
+// for the quantization path, which runs once per controller step; the
+// public ROBLevels/CacheWaysLevels return fresh copies, these must
+// never be mutated.
+var (
+	robLevelsAsc = ROBLevels()
+	cacheWaysAsc = CacheWaysLevels()
+)
+
+func robLevelsFloat() []float64 { return robLevelsAsc }
 
 // hysteresisIndex picks an index from ascending levels: the nearest one,
 // unless the request is within (0.5+margin) steps of the current level.
@@ -222,7 +225,7 @@ func hysteresisIndex(levels []float64, curIdx int, req, margin float64) int {
 // hysteresisIndexDesc handles the cache setting table, which is ordered
 // largest-first; the request is in L2 ways.
 func hysteresisIndexDesc(curIdx int, l2Ways, margin float64) int {
-	levels := CacheWaysLevels() // ascending ways
+	levels := cacheWaysAsc // ascending ways, read-only
 	// Convert the current descending index to ascending position.
 	curAsc := len(CacheSettings) - 1 - curIdx
 	asc := hysteresisIndex(levels, curAsc, l2Ways, margin)

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCalibrateMissCurveMatchesReplayOracle pins the single-pass
+// stack-distance calibration to the brute-force per-way replay: the
+// results must be exactly equal (==, not within a tolerance) for every
+// way count, across geometries, locality profiles, and warmups.
+func TestCalibrateMissCurveMatchesReplayOracle(t *testing.T) {
+	geoms := []CacheGeometry{
+		{SizeBytes: 32 << 10, Ways: 4, LineBytes: 64},
+		{SizeBytes: 256 << 10, Ways: 8, LineBytes: 64},
+		{SizeBytes: 4 << 10, Ways: 2, LineBytes: 32},
+	}
+	cases := []struct {
+		name       string
+		seed       int64
+		workingSet uint64
+		accesses   int
+		warmup     int
+	}{
+		{"tight", 50, 16 << 10, 30000, 5000},
+		{"spill", 51, 96 << 10, 30000, 5000},
+		{"huge", 52, 1 << 20, 20000, 0},
+		{"lateWarmup", 53, 48 << 10, 20000, 15000},
+	}
+	for _, g := range geoms {
+		for _, tc := range cases {
+			rng := rand.New(rand.NewSource(tc.seed))
+			spec := DefaultTraceSpec()
+			spec.WorkingSetBytes = tc.workingSet
+			trace := NewTraceGen(spec, rng).Generate(tc.accesses)
+
+			fast, err := CalibrateMissCurve(g, trace, tc.warmup)
+			if err != nil {
+				t.Fatalf("%s ways=%d: %v", tc.name, g.Ways, err)
+			}
+			oracle, err := CalibrateMissCurveReplay(g, trace, tc.warmup)
+			if err != nil {
+				t.Fatalf("%s ways=%d oracle: %v", tc.name, g.Ways, err)
+			}
+			if len(fast) != len(oracle) {
+				t.Fatalf("%s ways=%d: %d points vs %d", tc.name, g.Ways, len(fast), len(oracle))
+			}
+			for i := range oracle {
+				if fast[i].Ways != oracle[i].Ways {
+					t.Fatalf("%s: point %d ways %d vs %d", tc.name, i, fast[i].Ways, oracle[i].Ways)
+				}
+				if fast[i].MissRate != oracle[i].MissRate {
+					t.Fatalf("%s ways=%d/%d: miss rate %v vs oracle %v (must be bit-identical)",
+						tc.name, oracle[i].Ways, g.Ways, fast[i].MissRate, oracle[i].MissRate)
+				}
+			}
+		}
+	}
+}
+
+// TestCalibrateMissCurveReplayErrors checks the oracle rejects the same
+// degenerate inputs as the fast path.
+func TestCalibrateMissCurveReplayErrors(t *testing.T) {
+	g := CacheGeometry{SizeBytes: 32 << 10, Ways: 4, LineBytes: 64}
+	if _, err := CalibrateMissCurveReplay(g, make([]uint64, 10), 10); err == nil {
+		t.Fatal("expected error when warmup consumes the trace")
+	}
+	if _, err := CalibrateMissCurveReplay(g, make([]uint64, 10), -1); err == nil {
+		t.Fatal("expected error for negative warmup")
+	}
+	if _, err := CalibrateMissCurve(g, make([]uint64, 10), -1); err == nil {
+		t.Fatal("expected error for negative warmup (fast path)")
+	}
+}
+
+// TestCacheAgeTickRenormalization drives a cache whose ageTick is about
+// to wrap and checks LRU ordering survives. Without renormalization the
+// tick would wrap to small values, making freshly touched lines look
+// ancient and evicting the MRU line instead of the LRU one.
+func TestCacheAgeTickRenormalization(t *testing.T) {
+	// One set, 4 ways: SizeBytes/(LineBytes*Ways) = 256/(64*4) = 1.
+	g := CacheGeometry{SizeBytes: 256, Ways: 4, LineBytes: 64}
+	c, err := NewCache(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-wrapped tick: two accesses from MaxUint64.
+	c.ageTick = math.MaxUint64 - 2
+
+	// Addresses 0,64,128,192 map to set 0 with tags 0..3.
+	const a, b, cc, d, e = 0, 64, 128, 192, 256
+	if c.Access(a) { // stamped MaxUint64-1
+		t.Fatal("cold access to a hit")
+	}
+	if c.Access(b) { // stamped MaxUint64
+		t.Fatal("cold access to b hit")
+	}
+	// This access finds ageTick == MaxUint64 and renormalizes before
+	// stamping; the subsequent fills must still slot in as newer.
+	if c.Access(cc) {
+		t.Fatal("cold access to c hit")
+	}
+	if c.Access(d) {
+		t.Fatal("cold access to d hit")
+	}
+	// The set is full with LRU order a < b < c < d. Address e (tag 4)
+	// must evict a — the oldest — not one of the recent fills.
+	if c.Access(e) {
+		t.Fatal("cold access to e hit")
+	}
+	for _, addr := range []uint64{b, cc, d, e} {
+		if !c.Access(addr) {
+			t.Fatalf("line at %d was wrongly evicted after renormalization", addr)
+		}
+	}
+	if c.Access(a) {
+		t.Fatal("a should have been the eviction victim")
+	}
+	// The tick restarted near zero rather than wrapping.
+	if c.ageTick > 64 {
+		t.Fatalf("ageTick = %d, expected a small restarted value", c.ageTick)
+	}
+}
+
+// TestCacheAgeTickRenormalizationMultiSet checks renormalization ranks
+// each set independently (stamps are only compared within a set).
+func TestCacheAgeTickRenormalizationMultiSet(t *testing.T) {
+	// Two sets, 2 ways: 256/(64*2) = 2 sets.
+	g := CacheGeometry{SizeBytes: 256, Ways: 2, LineBytes: 64}
+	c, err := NewCache(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill both sets: set 0 gets tags 0,1 (addrs 0,128); set 1 gets
+	// tags 0,1 (addrs 64,192). LRU in set 0 is addr 0; in set 1, addr 64.
+	for _, addr := range []uint64{0, 64, 128, 192} {
+		c.Access(addr)
+	}
+	// Force renormalization on the next access.
+	c.ageTick = math.MaxUint64
+	// Touch addr 0 (set 0): now LRU in set 0 is 128.
+	if !c.Access(0) {
+		t.Fatal("addr 0 should still be resident")
+	}
+	// New line in set 0 (tag 2, addr 256) must evict 128, keeping 0.
+	c.Access(256)
+	if !c.Access(0) {
+		t.Fatal("set 0 evicted the MRU line after renormalization")
+	}
+	// Set 1 untouched by renormalization ordering: new line (addr 320,
+	// set 1 tag 2) must evict 64, keeping 192.
+	c.Access(320)
+	if !c.Access(192) {
+		t.Fatal("set 1 evicted the MRU line after renormalization")
+	}
+}

@@ -287,6 +287,17 @@ func (p *Processor) Run(n int) []Telemetry {
 	return out
 }
 
+// Advance executes n epochs for their side effects only (dynamic state
+// and the cumulative Totals counters), discarding per-epoch telemetry.
+// Sweeps that only read Totals — the static-oracle grid search runs
+// thousands of configurations — use this to avoid allocating a
+// telemetry trace per configuration.
+func (p *Processor) Advance(n int) {
+	for i := 0; i < n; i++ {
+		p.Step()
+	}
+}
+
 // Totals returns cumulative energy (J), instructions, and wall-clock
 // seconds since construction or the last ResetTotals.
 func (p *Processor) Totals() (energyJ, instructions, seconds float64) {

@@ -134,7 +134,7 @@ func hankelBlock(data *mat.Matrix, start, blockRows, j int) *mat.Matrix {
 	out := mat.New(blockRows*w, j)
 	for r := 0; r < blockRows; r++ {
 		for c := 0; c < j; c++ {
-			row := data.Row(start + r + c)
+			row := data.RowView(start + r + c) // read-only view: no per-cell copy
 			for k := 0; k < w; k++ {
 				out.Set(r*w+k, c, row[k])
 			}
@@ -171,9 +171,11 @@ func solveBD(d *Data, a, c *mat.Matrix, direct bool) (b, dm *mat.Matrix, err err
 	for idx := range zState {
 		zState[idx] = make([]float64, n)
 	}
+	zNext := make([]float64, n)     // scratch for the state advance
+	catNext := mat.New(l, a.Cols()) // scratch for the C A^k advance
 	for k := 0; k < t; k++ {
-		uk := d.U.Row(k)
-		yk := d.Y.Row(k)
+		uk := d.U.RowView(k)
+		yk := d.Y.RowView(k)
 		for li := 0; li < l; li++ {
 			row := k*l + li
 			tgt.Set(row, 0, yk[li])
@@ -198,14 +200,18 @@ func solveBD(d *Data, a, c *mat.Matrix, direct bool) (b, dm *mat.Matrix, err err
 			}
 		}
 		// Advance: zState ← A zState + e_e * u_j(k); cat ← cat * A.
+		// Ping-pong through the scratch buffers: same arithmetic as the
+		// allocating form, no per-step garbage.
 		for j := 0; j < m; j++ {
 			for e := 0; e < n; e++ {
-				ns := mat.MulVec(a, zState[j*n+e])
-				ns[e] += uk[j]
-				zState[j*n+e] = ns
+				z := zState[j*n+e]
+				mat.MulVecInto(zNext, a, z)
+				zNext[e] += uk[j]
+				copy(z, zNext)
 			}
 		}
-		cat = mat.Mul(cat, a)
+		mat.MulInto(catNext, cat, a)
+		cat, catNext = catNext, cat
 	}
 	theta, err := mat.LeastSquares(phi, tgt)
 	if err != nil {

@@ -208,7 +208,7 @@ func FitARX(d *Data, ord ARXOrders) (*Model, error) {
 				col++
 			}
 		}
-		tgt.SetRow(k, det.Y.Row(tt))
+		copy(tgt.RowView(k), det.Y.RowView(tt))
 	}
 	theta, err := mat.LeastSquares(phi, tgt)
 	if err != nil {
@@ -356,26 +356,34 @@ func (m *Model) OneStepPredict(d *Data) (*mat.Matrix, error) {
 		p = len(m.BBlocks)
 	}
 	out := mat.New(t, ny)
+	// Per-call scratch reused across the time loop: the predictor runs
+	// over thousands of samples inside design sweeps, so the inner loop
+	// must not allocate.
+	yk := make([]float64, ny)
+	dy := make([]float64, ny)
+	du := make([]float64, nu)
+	mv := make([]float64, ny)
 	for k := 0; k < t; k++ {
-		yk := make([]float64, ny)
+		for i := range yk {
+			yk[i] = 0
+		}
 		for i := 1; i <= len(m.ABlocks); i++ {
 			if k-i < 0 {
 				continue
 			}
-			dy := mat.VecSub(d.Y.Row(k-i), m.Off.Y0)
-			yk = mat.VecAdd(yk, mat.MulVec(m.ABlocks[i-1], dy))
+			mat.VecSubInto(dy, d.Y.RowView(k-i), m.Off.Y0)
+			mat.VecAddInto(yk, yk, mat.MulVecInto(mv, m.ABlocks[i-1], dy))
 		}
-		duNow := mat.VecSub(d.U.Row(k), m.Off.U0)
-		yk = mat.VecAdd(yk, mat.MulVec(m.B0, duNow))
+		mat.VecSubInto(du, d.U.RowView(k), m.Off.U0)
+		mat.VecAddInto(yk, yk, mat.MulVecInto(mv, m.B0, du))
 		for i := 1; i <= len(m.BBlocks); i++ {
 			if k-i < 0 {
 				continue
 			}
-			du := mat.VecSub(d.U.Row(k-i), m.Off.U0)
-			yk = mat.VecAdd(yk, mat.MulVec(m.BBlocks[i-1], du))
+			mat.VecSubInto(du, d.U.RowView(k-i), m.Off.U0)
+			mat.VecAddInto(yk, yk, mat.MulVecInto(mv, m.BBlocks[i-1], du))
 		}
-		out.SetRow(k, mat.VecAdd(yk, m.Off.Y0))
+		mat.VecAddInto(out.RowView(k), yk, m.Off.Y0)
 	}
-	_ = nu
 	return out, nil
 }
