@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench benchcmp cover fuzz golden
+.PHONY: check vet build test race bench benchcmp cover fuzz golden golden-doctor
 
 # check is the default verify flow: vet + build + race-enabled tests.
 check:
@@ -23,6 +23,12 @@ fuzz:
 # output change; review the diff like code.
 golden:
 	$(GO) test ./internal/experiments/ -run TestGolden -update
+
+# golden-doctor re-records the committed flight-recorder dump the
+# mimodoctor smoke job diagnoses (testdata/golden/doctor_sensor-freeze.frec);
+# needed after an intentional recording-format or control-loop change.
+golden-doctor:
+	$(GO) test ./internal/experiments/ -run TestGoldenDoctorDump -update
 
 # bench runs the benchmark suite (paper figures + substrate hot paths +
 # telemetry overhead) and writes BENCH_seed.json; see scripts/bench.sh

@@ -1,0 +1,125 @@
+// Command mimodoctor turns a control-loop flight recording into a
+// ranked root-cause diagnosis: model drift vs sensor fault vs actuator
+// saturation vs reference infeasibility (internal/health.Diagnose).
+//
+// A dump carries its replay identity (arch, workload, fault class,
+// seed), so -replay re-runs the recorded scenario from scratch and
+// verifies the fresh ring is byte-identical to the dump — proof the
+// evidence is trustworthy before acting on the verdict.
+//
+// Usage:
+//
+//	mimodoctor [-json] [-replay] [-expect cause] <dump.frec|dump.jsonl>
+//	mimodoctor -record CLASS -o FILE [-arch mimo|supervised] [-seed N] [-epochs N] [-cap N]
+//
+// Examples:
+//
+//	mimodoctor run.frec
+//	mimodoctor -replay -expect sensor-fault dumps/faults_sensor-freeze_mimo_001.frec
+//	mimodoctor -record actuator-stuck-freq -o stuck.frec
+//
+// Exit status: 0 on success; 1 on a failed -replay or a missed
+// -expect; 2 on usage errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mimoctl/internal/experiments"
+	"mimoctl/internal/flightrec"
+	"mimoctl/internal/health"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit the diagnosis as JSON instead of the text report")
+		replay  = flag.Bool("replay", false, "re-run the recorded scenario from its metadata and verify the dump is byte-identical")
+		expect  = flag.String("expect", "", "exit nonzero unless the top-ranked cause matches (healthy, sensor-fault, actuator-fault, model-drift, infeasible-reference)")
+		record  = flag.String("record", "", "record a fresh scenario instead of reading a dump: a fault class name, \"none\", or \"infeasible-target\"")
+		out     = flag.String("o", "", "output path for -record (.jsonl extension selects JSONL, anything else binary)")
+		arch    = flag.String("arch", "mimo", "controller architecture for -record: "+strings.Join(experiments.RecordedArchs(), ", "))
+		seed    = flag.Int64("seed", experiments.DefaultSeed, "simulation seed for -record")
+		epochs  = flag.Int("epochs", 0, "epochs to drive for -record (0 = 2000)")
+		ringCap = flag.Int("cap", 0, "ring capacity for -record (0 = epochs, i.e. keep everything)")
+	)
+	flag.Parse()
+
+	if *record != "" {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "-record requires -o <path>")
+			os.Exit(2)
+		}
+		rec, err := experiments.RecordedRun(*arch, *record, *seed, *epochs, *ringCap)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteFile(*out, "recorded"); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "recorded %d epochs of %s/%s -> %s\n", rec.Len(), *arch, *record, *out)
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mimodoctor [-json] [-replay] [-expect cause] <dump>")
+		fmt.Fprintln(os.Stderr, "       mimodoctor -record CLASS -o FILE [-arch A] [-seed N] [-epochs N] [-cap N]")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	meta, recs, err := flightrec.ReadDumpFile(path)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *replay {
+		fresh, err := experiments.ReplayRecorded(meta)
+		if err != nil {
+			fatal(fmt.Errorf("replay: %w", err))
+		}
+		got, want := flightrec.EncodeRecords(fresh.Snapshot()), flightrec.EncodeRecords(recs)
+		if !bytes.Equal(got, want) {
+			fmt.Fprintf(os.Stderr, "REPLAY MISMATCH: re-running %s/%s seed=%d epochs=%d did not reproduce the dump (%d vs %d records)\n",
+				meta.Arch, orUnknown(meta.FaultClass), meta.Seed, meta.Epochs, fresh.Len(), len(recs))
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "replay verified: %d records byte-identical\n", len(recs))
+	}
+
+	d := health.Diagnose(meta, recs)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Meta flightrec.Meta `json:"meta"`
+			*health.Diagnosis
+		}{meta, d}); err != nil {
+			fatal(err)
+		}
+	} else {
+		health.WriteReport(os.Stdout, meta, d)
+	}
+
+	if *expect != "" {
+		if top := d.Top(); top.Cause != health.Cause(*expect) {
+			fmt.Fprintf(os.Stderr, "EXPECT FAILED: top cause is %s, wanted %s\n", top.Cause, *expect)
+			os.Exit(1)
+		}
+	}
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -32,10 +32,18 @@ func main() {
 		format      = flag.String("format", "text", "output format: text or csv")
 		parallel    = flag.Int("parallel", runner.DefaultWorkers(), "experiment worker count: 0 = serial, N = pool of N workers (output is byte-identical either way)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live diagnostics (/metrics, /healthz, /debug/pprof) on this address (e.g. :8090); empty disables")
+		frDir       = flag.String("flightrec-dir", "", "attach a flight recorder to every recordable run and dump each ring to this directory; empty disables")
 	)
 	flag.Parse()
 	outputCSV = *format == "csv"
 	experiments.SetParallelism(*parallel)
+	if *frDir != "" {
+		if err := os.MkdirAll(*frDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		experiments.SetFlightRecording(experiments.FlightRecConfig{Enabled: true, Dir: *frDir})
+	}
 
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()

@@ -7,20 +7,33 @@
 // additionally serves live diagnostics (/metrics, /healthz, /trace,
 // /debug/pprof) while the run is in flight.
 //
+// With -flightrec the run also keeps a control-loop flight recorder
+// attached: the last epochs of controller internals are dumped to the
+// given path on SIGQUIT, on supervisor fallback, and at exit, and
+// served live at /debug/flightrec when -metrics-addr is set.
+//
+// `mimotrace explain <dump>` renders a recorded dump's ranked
+// root-cause diagnosis (the same report as cmd/mimodoctor).
+//
 // Examples:
 //
 //	mimotrace -workload namd -arch mimo -epochs 5000 > trace.csv
 //	mimotrace -workload astar -arch heuristic -battery
 //	mimotrace -workload milc -arch supervised -format jsonl -metrics-addr :8090
+//	mimotrace -workload namd -arch supervised -flightrec run.frec > trace.csv
+//	mimotrace explain run.frec
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"syscall"
 
 	"mimoctl/internal/core"
 	"mimoctl/internal/experiments"
+	"mimoctl/internal/flightrec"
+	"mimoctl/internal/health"
 	"mimoctl/internal/sim"
 	"mimoctl/internal/supervisor"
 	"mimoctl/internal/telemetry"
@@ -28,6 +41,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		explainMain(os.Args[2:])
+		return
+	}
 	var (
 		workload    = flag.String("workload", "namd", "application to run (SPEC CPU2006 name)")
 		arch        = flag.String("arch", "mimo", "controller: mimo, mimo3, heuristic, decoupled, baseline, supervised")
@@ -39,6 +56,8 @@ func main() {
 		every       = flag.Int("every", 1, "emit every Nth epoch (must be >= 1)")
 		format      = flag.String("format", "csv", "trace format: csv or jsonl")
 		metricsAddr = flag.String("metrics-addr", "", "serve live diagnostics on this address (e.g. :8090); empty disables")
+		frPath      = flag.String("flightrec", "", "keep a flight recorder attached and dump it to this path (SIGQUIT, supervisor fallback, and exit); empty disables")
+		frCap       = flag.Int("flightrec-cap", 4096, "flight recorder ring capacity (records)")
 	)
 	flag.Parse()
 
@@ -62,6 +81,22 @@ func main() {
 		fatal(err)
 	}
 
+	var frec *flightrec.Recorder
+	if *frPath != "" {
+		frec = flightrec.New(*frCap)
+		frec.SetOnDump(func(reason string, r *flightrec.Recorder) {
+			if err := r.WriteFile(*frPath, reason); err != nil {
+				fmt.Fprintf(os.Stderr, "flightrec dump: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "flightrec dump (%s) -> %s\n", reason, *frPath)
+		})
+		stop := flightrec.DumpOnSignal(frec, syscall.SIGQUIT, *frPath, func(err error) {
+			fmt.Fprintf(os.Stderr, "flightrec signal dump: %v\n", err)
+		})
+		defer stop()
+	}
+
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
 		telemetry.RegisterGoMetrics(reg)
@@ -70,6 +105,7 @@ func main() {
 			Registry: reg,
 			Health:   supervisor.Healthz,
 			Trace:    rec,
+			Extra:    flightrecEndpoints(frec),
 		})
 		if err != nil {
 			fatal(err)
@@ -87,6 +123,18 @@ func main() {
 		fatal(err)
 	}
 	ctrl.SetTargets(*ips, *power)
+	if frec != nil {
+		rc, ok := ctrl.(flightrec.Recordable)
+		if !ok {
+			fatal(fmt.Errorf("-flightrec: architecture %q does not support flight recording", *arch))
+		}
+		frec.SetMeta(flightrec.Meta{
+			Arch: *arch, Workload: *workload, Seed: *seed,
+			TargetIPS: *ips, TargetPowerW: *power,
+			FreqLevels: len(sim.FreqSettingsGHz), CacheLevels: len(sim.CacheSettings), ROBLevels: len(sim.ROBSettings),
+		})
+		rc.SetFlightRecorder(frec)
+	}
 
 	var sched *core.BatteryScheduler
 	if *battery {
@@ -149,11 +197,46 @@ func main() {
 		}
 		rec.Record(ev)
 	}
+	if frec != nil {
+		frec.RequestDump("run-complete")
+	}
 	// A trace whose tail was silently dropped (full disk, closed pipe)
 	// must not exit 0: Close surfaces the first sink error.
 	if err := rec.Close(); err != nil {
 		fatal(err)
 	}
+}
+
+// flightrecEndpoints mounts /debug/flightrec when a recorder is live.
+func flightrecEndpoints(r *flightrec.Recorder) []telemetry.Endpoint {
+	if r == nil {
+		return nil
+	}
+	return []telemetry.Endpoint{{
+		Path:    "/debug/flightrec",
+		Desc:    "flight recorder dump (binary; ?format=jsonl)",
+		Handler: flightrec.Handler(r),
+	}}
+}
+
+// explainMain implements `mimotrace explain <dump>`: load a flight
+// recording and print its ranked root-cause diagnosis.
+func explainMain(args []string) {
+	fs := flag.NewFlagSet("mimotrace explain", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mimotrace explain <dump.frec|dump.jsonl>")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	meta, recs, err := flightrec.ReadDumpFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	health.WriteReport(os.Stdout, meta, health.Diagnose(meta, recs))
 }
 
 func buildController(arch string, seed int64) (core.ArchController, error) {

@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"mimoctl/internal/flightrec"
 	"mimoctl/internal/lqg"
 	"mimoctl/internal/sim"
 	"mimoctl/internal/sysid"
@@ -49,6 +50,10 @@ type MIMOController struct {
 	health                 Health
 	stepCount              uint64
 
+	// fr, when attached, receives one flight record per Step. A nil
+	// recorder costs one comparison on the hot path.
+	fr *flightrec.Recorder
+
 	// scr holds fixed-size scratch for the per-step conversions so Step
 	// allocates nothing in steady state. The arrays are struct values:
 	// Clone's shallow copy gives every clone independent scratch.
@@ -57,11 +62,12 @@ type MIMOController struct {
 
 // mimoScratch is sized for the worst case (3-input variant, 2 outputs).
 type mimoScratch struct {
-	y   [2]float64 // measured outputs, deviation coordinates
-	u   [3]float64 // requested knobs, absolute units
-	uq  [3]float64 // quantized knobs, absolute units
-	dq  [3]float64 // quantized knobs, deviation coordinates
-	ref [2]float64 // reference for TrySetTargets
+	y     [2]float64 // measured outputs, deviation coordinates
+	u     [3]float64 // requested knobs, absolute units
+	uq    [3]float64 // quantized knobs, absolute units
+	dq    [3]float64 // quantized knobs, deviation coordinates
+	ref   [2]float64 // reference for TrySetTargets
+	innov [2]float64 // last innovation, absolute units
 }
 
 // NewMIMOController wraps a designed LQG controller. Prefer DesignMIMO,
@@ -103,6 +109,20 @@ func (c *MIMOController) Health() Health { return c.health }
 // (absolute output units: BIPS, watts). The supervised runtime monitors
 // its magnitude to detect a model that no longer explains the plant.
 func (c *MIMOController) LastInnovation() []float64 { return c.lq.LastInnovation() }
+
+// LastInnovationInto appends the most recent innovation to dst[:0],
+// avoiding LastInnovation's per-call allocation for streaming consumers
+// (the model-health monitor, the flight recorder).
+func (c *MIMOController) LastInnovationInto(dst []float64) []float64 {
+	return c.lq.LastInnovationInto(dst)
+}
+
+// SetFlightRecorder attaches (or, with nil, detaches) a flight recorder
+// that receives one Record per Step. Implements flightrec.Recordable.
+func (c *MIMOController) SetFlightRecorder(r *flightrec.Recorder) { c.fr = r }
+
+// FlightRecorder returns the attached recorder (nil when detached).
+func (c *MIMOController) FlightRecorder() *flightrec.Recorder { return c.fr }
 
 // TrySetTargets validates and updates the output references, reporting
 // why a reference was rejected. Rejected targets leave the previous
@@ -190,10 +210,17 @@ func (c *MIMOController) Step(t sim.Telemetry) sim.Config {
 		if m != nil {
 			m.stepErrors.Inc()
 		}
+		if c.fr != nil {
+			c.appendRecord(t, c.cur, flightrec.FlagStepError, nil, nil)
+		}
 		return c.cur
 	}
+	var innov []float64
+	if m != nil || c.fr != nil {
+		innov = c.lq.LastInnovationInto(c.scr.innov[:0])
+	}
 	if m != nil {
-		if innov := c.lq.LastInnovation(); len(innov) >= 2 {
+		if len(innov) >= 2 {
 			m.innovIPS.Observe(math.Abs(innov[0]))
 			m.innovPower.Observe(math.Abs(innov[1]))
 		}
@@ -224,10 +251,54 @@ func (c *MIMOController) Step(t sim.Telemetry) sim.Config {
 			m.feedbackErrors.Inc()
 		}
 	}
+	if c.fr != nil {
+		c.appendRecord(t, c.cur, 0, u, innov)
+	}
 	if timed {
 		m.stepSeconds.Observe(time.Since(t0).Seconds())
 	}
 	return c.cur
+}
+
+// appendRecord writes this epoch's flight record: req is the
+// configuration the controller settled on, u the continuous request in
+// absolute knob units (nil on step-error epochs), innov the step's
+// Kalman innovation (nil when no step completed).
+func (c *MIMOController) appendRecord(t sim.Telemetry, req sim.Config, flags uint32, u, innov []float64) {
+	rec := flightrec.Record{
+		Flags:       flags,
+		IPSTarget:   c.ipsTarget,
+		PowerTarget: c.powerTarget,
+		MeasIPS:     t.IPS,
+		MeasPowerW:  t.PowerW,
+		TrueIPS:     t.TrueIPS,
+		TruePowerW:  t.TruePowerW,
+		InnovIPS:    math.NaN(),
+		InnovPowerW: math.NaN(),
+		ExcessNorm:  c.lq.LastExcessNorm(),
+		UFreqGHz:    math.NaN(),
+		UL2Ways:     math.NaN(),
+		UROBEntries: math.NaN(),
+		ReqFreq:     int16(req.FreqIdx),
+		ReqCache:    int16(req.CacheIdx),
+		ReqROB:      int16(req.ROBIdx),
+		CfgFreq:     int16(t.Config.FreqIdx),
+		CfgCache:    int16(t.Config.CacheIdx),
+		CfgROB:      int16(t.Config.ROBIdx),
+	}
+	if len(innov) >= 2 {
+		rec.InnovIPS, rec.InnovPowerW = innov[0], innov[1]
+	}
+	if len(u) >= 2 {
+		rec.UFreqGHz, rec.UL2Ways = u[0], u[1]
+	}
+	if len(u) >= 3 {
+		rec.UROBEntries = u[2] * ROBUnit
+	}
+	if !c.threeInput {
+		rec.ReqROB = flightrec.IdxNA
+	}
+	c.fr.Append(rec)
 }
 
 // Clone returns an independent controller sharing the immutable design
@@ -237,6 +308,8 @@ func (c *MIMOController) Step(t sim.Telemetry) sim.Config {
 func (c *MIMOController) Clone() *MIMOController {
 	d := *c
 	d.lq = c.lq.Clone()
+	// A recorder holds one run's records; clones start detached.
+	d.fr = nil
 	return &d
 }
 

@@ -156,6 +156,8 @@ func RunTracking(ctrl core.ArchController, w sim.Workload, seed int64, epochs, s
 		return TrackStats{}, err
 	}
 	ctrl.Reset()
+	rec := attachFlightRec(ctrl, trackingMeta(ctrl, w, seed, epochs))
+	defer finishFlightRec(rec, ctrl, "track_"+w.Name()+"_"+ctrl.Name())
 	tel := proc.Step()
 	var sumIPS, sumP, sumIErr, sumPErr float64
 	n := 0
@@ -199,6 +201,8 @@ func RunEnergy(ctrl core.ArchController, w sim.Workload, seed int64, epochs, war
 		return 0, err
 	}
 	ctrl.Reset()
+	rec := attachFlightRec(ctrl, trackingMeta(ctrl, w, seed, warm+epochs))
+	defer finishFlightRec(rec, ctrl, "energy_"+w.Name()+"_"+ctrl.Name())
 	tel := proc.Step()
 	for i := 0; i < warm; i++ {
 		cfg := ctrl.Step(tel)

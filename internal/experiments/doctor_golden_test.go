@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mimoctl/internal/flightrec"
+	"mimoctl/internal/health"
+)
+
+// goldenDumpPath is the committed flight-recorder dump the mimodoctor
+// CI smoke job diagnoses (`mimodoctor -replay -expect sensor-fault`).
+// Regenerate after an intentional recording-format or loop change with:
+//
+//	make golden-doctor
+//
+// (equivalently: go test ./internal/experiments/ -run TestGoldenDoctorDump -update)
+var goldenDumpPath = filepath.Join("testdata", "golden", "doctor_sensor-freeze.frec")
+
+const (
+	goldenDumpClass  = "sensor-freeze"
+	goldenDumpEpochs = 1000
+	goldenDumpCap    = 1024
+)
+
+// TestGoldenDoctorDump pins the committed dump: the recorded scenario
+// must reproduce it byte-for-byte (format and control loop unchanged)
+// and the diagnoser must still call the injected fault.
+func TestGoldenDoctorDump(t *testing.T) {
+	rec, err := RecordedRun("mimo", goldenDumpClass, DefaultSeed, goldenDumpEpochs, goldenDumpCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := rec.WriteFile(goldenDumpPath, "golden"); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	meta, recs, err := flightrec.ReadDumpFile(goldenDumpPath)
+	if err != nil {
+		t.Fatalf("missing golden dump (run make golden-doctor to create): %v", err)
+	}
+	if meta.Arch != "mimo" || meta.FaultClass != goldenDumpClass || meta.Seed != DefaultSeed {
+		t.Fatalf("golden dump identity drifted: %+v", meta)
+	}
+	if !bytes.Equal(flightrec.EncodeRecords(rec.Snapshot()), flightrec.EncodeRecords(recs)) {
+		t.Fatal("recorded scenario no longer reproduces the golden dump byte-for-byte " +
+			"(intentional change? run make golden-doctor and review the diff)")
+	}
+	if top := health.Diagnose(meta, recs).Top(); top.Cause != health.CauseSensorFault {
+		t.Fatalf("golden dump diagnosed as %s (%s), want sensor-fault", top.Cause, top.Evidence)
+	}
+	// The binary stays small enough to live in git (one ring ≈ 128 KB).
+	if fi, err := os.Stat(goldenDumpPath); err != nil || fi.Size() > 256<<10 {
+		t.Fatalf("golden dump size check: size=%v err=%v", fi.Size(), err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"mimoctl/internal/core"
+	"mimoctl/internal/flightrec"
 	"mimoctl/internal/runner"
 	"mimoctl/internal/sim"
 	"mimoctl/internal/supervisor"
@@ -164,6 +165,13 @@ func runFaulted(ctrl core.ArchController, w sim.Workload, fc FaultClass, seed in
 	}
 	ctrl.Reset()
 	ctrl.SetTargets(core.DefaultIPSTarget, core.DefaultPowerTarget)
+	rec := attachFlightRec(ctrl, flightrec.Meta{
+		Arch: ctrl.Name(), Workload: w.Name(), FaultClass: fc.Name,
+		Seed: seed, Epochs: epochs,
+		TargetIPS: core.DefaultIPSTarget, TargetPowerW: core.DefaultPowerTarget,
+		FreqLevels: len(sim.FreqSettingsGHz), CacheLevels: len(sim.CacheSettings), ROBLevels: len(sim.ROBSettings),
+	})
+	defer finishFlightRec(rec, ctrl, "faults_"+fc.Name+"_"+ctrl.Name())
 	row := FaultRow{Class: fc.Name, Arch: ctrl.Name()}
 	obs, observes := ctrl.(supervisor.ApplyObserver)
 

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"mimoctl/internal/core"
+	"mimoctl/internal/health"
 	"mimoctl/internal/runner"
 	"mimoctl/internal/sim"
 	"mimoctl/internal/supervisor"
@@ -31,6 +32,7 @@ func EnableTelemetry(reg *telemetry.Registry) {
 	sim.SetTelemetry(reg)
 	core.SetTelemetry(reg)
 	supervisor.SetTelemetry(reg)
+	health.SetTelemetry(reg)
 	runner.SetTelemetry(reg)
 	if reg == nil {
 		expTel.Store(nil)

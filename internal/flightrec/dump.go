@@ -1,0 +1,344 @@
+package flightrec
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"mimoctl/internal/telemetry"
+)
+
+// Dump format. Two encodings of the same versioned schema:
+//
+//   - binary: magic + version + JSON meta + fixed 128-byte records with
+//     raw little-endian IEEE float bits — bit-exact round-trip for every
+//     value including NaN payloads,
+//   - JSONL: a meta header line then one record object per line, using
+//     telemetry.JSONFloat's "NaN"/"+Inf"/"-Inf" sentinels (encoding/json
+//     rejects non-finite numbers), so faulted windows survive a text
+//     dump too. JSONL canonicalizes NaN payload bits; the binary format
+//     is the authoritative one for byte-identical replay comparisons.
+//
+// ReadDump auto-detects the encoding from the first bytes.
+
+// FormatVersion is the dump schema version.
+const FormatVersion = 1
+
+// Magic starts every binary dump.
+const Magic = "MIMOFREC"
+
+// recordBinSize is the fixed on-disk record size (v1).
+const recordBinSize = 128
+
+// EncodeRecords renders records in the fixed binary layout (no header).
+// Replay tests compare these bytes: float equality at the bit level is
+// exactly what "byte-identical replay" means, NaN included.
+func EncodeRecords(recs []Record) []byte {
+	out := make([]byte, len(recs)*recordBinSize)
+	for i := range recs {
+		putRecord(out[i*recordBinSize:], &recs[i])
+	}
+	return out
+}
+
+func putRecord(b []byte, r *Record) {
+	le := binary.LittleEndian
+	le.PutUint64(b[0:], r.Epoch)
+	le.PutUint32(b[8:], r.Flags)
+	b[12] = r.Mode
+	b[13], b[14], b[15] = 0, 0, 0
+	for i, v := range [...]float64{
+		r.IPSTarget, r.PowerTarget, r.MeasIPS, r.MeasPowerW,
+		r.TrueIPS, r.TruePowerW, r.InnovIPS, r.InnovPowerW,
+		r.ExcessNorm, r.UFreqGHz, r.UL2Ways, r.UROBEntries,
+	} {
+		le.PutUint64(b[16+8*i:], math.Float64bits(v))
+	}
+	for i, v := range [...]int16{r.ReqFreq, r.ReqCache, r.ReqROB, r.CfgFreq, r.CfgCache, r.CfgROB} {
+		le.PutUint16(b[112+2*i:], uint16(v))
+	}
+	le.PutUint32(b[124:], 0)
+}
+
+func getRecord(b []byte) Record {
+	le := binary.LittleEndian
+	var r Record
+	r.Epoch = le.Uint64(b[0:])
+	r.Flags = le.Uint32(b[8:])
+	r.Mode = b[12]
+	f := func(i int) float64 { return math.Float64frombits(le.Uint64(b[16+8*i:])) }
+	r.IPSTarget, r.PowerTarget = f(0), f(1)
+	r.MeasIPS, r.MeasPowerW = f(2), f(3)
+	r.TrueIPS, r.TruePowerW = f(4), f(5)
+	r.InnovIPS, r.InnovPowerW = f(6), f(7)
+	r.ExcessNorm = f(8)
+	r.UFreqGHz, r.UL2Ways, r.UROBEntries = f(9), f(10), f(11)
+	s := func(i int) int16 { return int16(le.Uint16(b[112+2*i:])) }
+	r.ReqFreq, r.ReqCache, r.ReqROB = s(0), s(1), s(2)
+	r.CfgFreq, r.CfgCache, r.CfgROB = s(3), s(4), s(5)
+	return r
+}
+
+// WriteBinary dumps the recorder (meta + chronological ring snapshot)
+// in the binary format.
+func (r *Recorder) WriteBinary(w io.Writer) error {
+	return writeBinary(w, r.Meta(), r.Snapshot())
+}
+
+func writeBinary(w io.Writer, meta Meta, recs []Record) error {
+	meta.Version = FormatVersion
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("flightrec: encode meta: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString(Magic)
+	var u32 [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		bw.Write(u32[:])
+	}
+	put(FormatVersion)
+	put(uint32(len(metaJSON)))
+	bw.Write(metaJSON)
+	put(recordBinSize)
+	put(uint32(len(recs)))
+	var rb [recordBinSize]byte
+	for i := range recs {
+		putRecord(rb[:], &recs[i])
+		if _, err := bw.Write(rb[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a binary dump.
+func ReadBinary(r io.Reader) (Meta, []Record, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return Meta{}, nil, fmt.Errorf("flightrec: read magic: %w", err)
+	}
+	if string(head) != Magic {
+		return Meta{}, nil, fmt.Errorf("flightrec: bad magic %q", head)
+	}
+	var u32 [4]byte
+	get := func() (uint32, error) {
+		if _, err := io.ReadFull(br, u32[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(u32[:]), nil
+	}
+	version, err := get()
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("flightrec: read version: %w", err)
+	}
+	if version != FormatVersion {
+		return Meta{}, nil, fmt.Errorf("flightrec: unsupported dump version %d (want %d)", version, FormatVersion)
+	}
+	metaLen, err := get()
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("flightrec: read meta length: %w", err)
+	}
+	if metaLen > 1<<20 {
+		return Meta{}, nil, fmt.Errorf("flightrec: implausible meta length %d", metaLen)
+	}
+	metaJSON := make([]byte, metaLen)
+	if _, err := io.ReadFull(br, metaJSON); err != nil {
+		return Meta{}, nil, fmt.Errorf("flightrec: read meta: %w", err)
+	}
+	var meta Meta
+	if err := json.Unmarshal(metaJSON, &meta); err != nil {
+		return Meta{}, nil, fmt.Errorf("flightrec: decode meta: %w", err)
+	}
+	size, err := get()
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("flightrec: read record size: %w", err)
+	}
+	if size != recordBinSize {
+		return Meta{}, nil, fmt.Errorf("flightrec: record size %d (want %d)", size, recordBinSize)
+	}
+	count, err := get()
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("flightrec: read record count: %w", err)
+	}
+	if count > 1<<24 {
+		return Meta{}, nil, fmt.Errorf("flightrec: implausible record count %d", count)
+	}
+	recs := make([]Record, count)
+	var rb [recordBinSize]byte
+	for i := range recs {
+		if _, err := io.ReadFull(br, rb[:]); err != nil {
+			return Meta{}, nil, fmt.Errorf("flightrec: read record %d: %w", i, err)
+		}
+		recs[i] = getRecord(rb[:])
+	}
+	return meta, recs, nil
+}
+
+// recordWire is the JSONL encoding of a Record. Float fields use
+// telemetry.JSONFloat so non-finite values round-trip as the shared
+// "NaN"/"+Inf"/"-Inf" sentinels.
+type recordWire struct {
+	Epoch       uint64              `json:"epoch"`
+	Flags       uint32              `json:"flags,omitempty"`
+	Mode        uint8               `json:"mode,omitempty"`
+	IPSTarget   telemetry.JSONFloat `json:"ips_target"`
+	PowerTarget telemetry.JSONFloat `json:"power_target"`
+	MeasIPS     telemetry.JSONFloat `json:"ips_meas"`
+	MeasPowerW  telemetry.JSONFloat `json:"power_meas"`
+	TrueIPS     telemetry.JSONFloat `json:"ips_true"`
+	TruePowerW  telemetry.JSONFloat `json:"power_true"`
+	InnovIPS    telemetry.JSONFloat `json:"innov_ips"`
+	InnovPowerW telemetry.JSONFloat `json:"innov_power"`
+	ExcessNorm  telemetry.JSONFloat `json:"excess_norm"`
+	UFreqGHz    telemetry.JSONFloat `json:"u_freq_ghz"`
+	UL2Ways     telemetry.JSONFloat `json:"u_l2_ways"`
+	UROBEntries telemetry.JSONFloat `json:"u_rob"`
+	ReqFreq     int16               `json:"req_freq"`
+	ReqCache    int16               `json:"req_cache"`
+	ReqROB      int16               `json:"req_rob"`
+	CfgFreq     int16               `json:"cfg_freq"`
+	CfgCache    int16               `json:"cfg_cache"`
+	CfgROB      int16               `json:"cfg_rob"`
+}
+
+func wireFrom(r Record) recordWire {
+	return recordWire{
+		Epoch: r.Epoch, Flags: r.Flags, Mode: r.Mode,
+		IPSTarget: telemetry.JSONFloat(r.IPSTarget), PowerTarget: telemetry.JSONFloat(r.PowerTarget),
+		MeasIPS: telemetry.JSONFloat(r.MeasIPS), MeasPowerW: telemetry.JSONFloat(r.MeasPowerW),
+		TrueIPS: telemetry.JSONFloat(r.TrueIPS), TruePowerW: telemetry.JSONFloat(r.TruePowerW),
+		InnovIPS: telemetry.JSONFloat(r.InnovIPS), InnovPowerW: telemetry.JSONFloat(r.InnovPowerW),
+		ExcessNorm: telemetry.JSONFloat(r.ExcessNorm),
+		UFreqGHz:   telemetry.JSONFloat(r.UFreqGHz), UL2Ways: telemetry.JSONFloat(r.UL2Ways),
+		UROBEntries: telemetry.JSONFloat(r.UROBEntries),
+		ReqFreq:     r.ReqFreq, ReqCache: r.ReqCache, ReqROB: r.ReqROB,
+		CfgFreq: r.CfgFreq, CfgCache: r.CfgCache, CfgROB: r.CfgROB,
+	}
+}
+
+func (w recordWire) record() Record {
+	return Record{
+		Epoch: w.Epoch, Flags: w.Flags, Mode: w.Mode,
+		IPSTarget: float64(w.IPSTarget), PowerTarget: float64(w.PowerTarget),
+		MeasIPS: float64(w.MeasIPS), MeasPowerW: float64(w.MeasPowerW),
+		TrueIPS: float64(w.TrueIPS), TruePowerW: float64(w.TruePowerW),
+		InnovIPS: float64(w.InnovIPS), InnovPowerW: float64(w.InnovPowerW),
+		ExcessNorm: float64(w.ExcessNorm),
+		UFreqGHz:   float64(w.UFreqGHz), UL2Ways: float64(w.UL2Ways),
+		UROBEntries: float64(w.UROBEntries),
+		ReqFreq:     w.ReqFreq, ReqCache: w.ReqCache, ReqROB: w.ReqROB,
+		CfgFreq: w.CfgFreq, CfgCache: w.CfgCache, CfgROB: w.CfgROB,
+	}
+}
+
+// jsonlHeader is the first line of a JSONL dump.
+type jsonlHeader struct {
+	Meta Meta `json:"flightrec"`
+}
+
+// WriteJSONL dumps the recorder as a meta header line followed by one
+// record object per line.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	return writeJSONL(w, r.Meta(), r.Snapshot())
+}
+
+func writeJSONL(w io.Writer, meta Meta, recs []Record) error {
+	meta.Version = FormatVersion
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlHeader{Meta: meta}); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := enc.Encode(wireFrom(rec)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL dump.
+func ReadJSONL(r io.Reader) (Meta, []Record, error) {
+	dec := json.NewDecoder(r)
+	var head jsonlHeader
+	if err := dec.Decode(&head); err != nil {
+		return Meta{}, nil, fmt.Errorf("flightrec: decode JSONL header: %w", err)
+	}
+	if head.Meta.Version != FormatVersion {
+		return Meta{}, nil, fmt.Errorf("flightrec: unsupported dump version %d (want %d)", head.Meta.Version, FormatVersion)
+	}
+	var recs []Record
+	for {
+		var w recordWire
+		if err := dec.Decode(&w); err == io.EOF {
+			break
+		} else if err != nil {
+			return Meta{}, nil, fmt.Errorf("flightrec: decode record %d: %w", len(recs), err)
+		}
+		recs = append(recs, w.record())
+	}
+	return head.Meta, recs, nil
+}
+
+// ReadDump auto-detects the encoding (binary magic vs. JSONL) and
+// parses the dump.
+func ReadDump(r io.Reader) (Meta, []Record, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(Magic))
+	if err != nil && len(head) == 0 {
+		return Meta{}, nil, fmt.Errorf("flightrec: read dump: %w", err)
+	}
+	if bytes.HasPrefix(head, []byte(Magic)) {
+		return ReadBinary(br)
+	}
+	return ReadJSONL(br)
+}
+
+// ReadDumpFile opens and parses a dump file in either encoding.
+func ReadDumpFile(path string) (Meta, []Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	defer f.Close()
+	return ReadDump(f)
+}
+
+// WriteFile dumps the recorder to path, binary unless the path ends in
+// .jsonl, stamping reason into the meta. Parent directories are
+// created.
+func (r *Recorder) WriteFile(path, reason string) error {
+	if r == nil {
+		return nil
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	meta := r.Meta()
+	meta.Reason = reason
+	recs := r.Snapshot()
+	if filepath.Ext(path) == ".jsonl" {
+		err = writeJSONL(f, meta, recs)
+	} else {
+		err = writeBinary(f, meta, recs)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,311 @@
+// Package flightrec implements the control-loop flight recorder: a
+// fixed-size, allocation-free ring of per-epoch structured records
+// written from the controller hot path and dumped on demand.
+//
+// The paper's safety flow — validate the model, set a guardband, prove
+// robust stability (§IV-B, Fig. 3) — is design-time; the recorder is
+// the runtime half of that story. Like an aircraft flight recorder it
+// always runs, costs almost nothing (one nil check when detached, one
+// uncontended mutex and a struct copy when attached), and preserves the
+// last Capacity epochs of everything a post-mortem needs: targets,
+// measured and true outputs, the Kalman innovation, the continuous
+// actuation request, the quantized request, and the configuration that
+// was actually in effect. internal/health's Diagnose and cmd/mimodoctor
+// turn a dump into a ranked root-cause verdict, and the recorded
+// seed/arch/fault-class identity lets the window be replayed
+// bit-identically.
+//
+// A nil *Recorder is valid and records nothing, so controllers can wire
+// the Append call unconditionally.
+package flightrec
+
+import (
+	"sync"
+)
+
+// Flag bits on a Record. The supervisor stages its per-epoch flags
+// before the inner controller runs (StageFlags); whichever component
+// appends the epoch's record picks them up.
+const (
+	// FlagSupervised marks an epoch that passed through the supervised
+	// runtime (internal/supervisor).
+	FlagSupervised uint32 = 1 << iota
+	// FlagFallback marks an epoch pinned at the safe configuration.
+	FlagFallback
+	// FlagHold marks an actuation-backoff hold epoch: the inner
+	// controller was not stepped and a previous request was held or
+	// re-issued.
+	FlagHold
+	// FlagSanitizedIPS / FlagSanitizedPower mark epochs whose sensor
+	// reading was implausible and substituted before the controller saw
+	// it; MeasIPS/MeasPowerW hold the substituted value.
+	FlagSanitizedIPS
+	FlagSanitizedPower
+	// FlagApplyError marks an epoch whose preceding actuation attempt
+	// was reported failed.
+	FlagApplyError
+	// FlagStepError marks an inner-controller step failure; the previous
+	// configuration was held.
+	FlagStepError
+	// FlagIllegalConfig marks an inner-controller output that failed
+	// validation and was replaced by the in-effect configuration.
+	FlagIllegalConfig
+)
+
+// Modes recorded in Record.Mode (mirrors supervisor.Mode; a raw,
+// unsupervised controller always records ModeEngaged).
+const (
+	ModeEngaged  uint8 = 0
+	ModeFallback uint8 = 1
+)
+
+// IdxNA marks a knob index that does not apply to the record (e.g. the
+// ROB knob of a 2-input controller).
+const IdxNA int16 = -1
+
+// Record is one epoch of the closed loop, sized so the ring append is a
+// plain struct copy. All floats are stored and serialized as raw IEEE
+// bit patterns, so NaN and ±Inf round-trip losslessly — faulted epochs
+// are exactly the ones worth recording.
+type Record struct {
+	// Epoch is the recorder's own sequence number, stamped by Append;
+	// with one record per harness epoch it equals the harness epoch.
+	Epoch uint64
+	// Flags is the union of the Flag* bits observed this epoch.
+	Flags uint32
+	// Mode is the supervisor mode (ModeEngaged for raw controllers).
+	Mode uint8
+
+	// References in effect.
+	IPSTarget   float64
+	PowerTarget float64
+	// Measured (possibly faulted/sanitized) and true plant outputs.
+	MeasIPS    float64
+	MeasPowerW float64
+	TrueIPS    float64
+	TruePowerW float64
+	// Kalman innovation y - Cx̂ of the step, absolute units (NaN when
+	// the stepping controller exposes none, e.g. fallback epochs).
+	InnovIPS    float64
+	InnovPowerW float64
+	// ExcessNorm is ‖u_requested − u_applied‖₂ from the LQG anti-windup
+	// feedback: nonzero means quantization or range saturation bit.
+	ExcessNorm float64
+	// Continuous actuation request in absolute units before
+	// quantization (NaN on epochs where no request was computed).
+	UFreqGHz    float64
+	UL2Ways     float64
+	UROBEntries float64
+
+	// ReqFreq/ReqCache/ReqROB are the quantized configuration indices
+	// the controller requested this epoch; CfgFreq/CfgCache/CfgROB are
+	// the indices in effect during the epoch (the previous request as
+	// the plant actually applied it). A persistent Req[k] != Cfg[k+1]
+	// divergence is the signature of a stuck actuator.
+	ReqFreq, ReqCache, ReqROB int16
+	CfgFreq, CfgCache, CfgROB int16
+}
+
+// Meta identifies a recording well enough to replay it: controller
+// architecture, workload, fault class, and the seed that fixes every
+// random stream. Level counts let a diagnoser detect knob saturation
+// without importing the simulator.
+type Meta struct {
+	Version    int    `json:"version"`
+	Arch       string `json:"arch,omitempty"`
+	Workload   string `json:"workload,omitempty"`
+	FaultClass string `json:"fault_class,omitempty"`
+	Seed       int64  `json:"seed"`
+	// Epochs is the total number of harness epochs driven (the ring
+	// holds the last min(Epochs, Capacity) of them).
+	Epochs   int `json:"epochs"`
+	Capacity int `json:"capacity"`
+	// Targets in effect for the run.
+	TargetIPS    float64 `json:"target_ips,omitempty"`
+	TargetPowerW float64 `json:"target_power_w,omitempty"`
+	// Legal settings per knob (0 = unknown).
+	FreqLevels  int `json:"freq_levels,omitempty"`
+	CacheLevels int `json:"cache_levels,omitempty"`
+	ROBLevels   int `json:"rob_levels,omitempty"`
+	// Reason records what triggered the dump ("" while recording).
+	Reason string `json:"reason,omitempty"`
+}
+
+// Recordable is implemented by controllers that can write their own
+// flight records (core.MIMOController, supervisor.Supervised).
+type Recordable interface {
+	SetFlightRecorder(*Recorder)
+}
+
+// Recorder is the fixed-size ring. Append never allocates; Snapshot
+// (the dump path) allocates a copy so a dump can race a live writer
+// safely. All methods are safe on a nil receiver.
+type Recorder struct {
+	mu     sync.Mutex
+	buf    []Record
+	next   int    // ring write position
+	count  int    // records currently in the ring
+	seq    uint64 // records ever appended; stamps Record.Epoch
+	staged uint32 // flags staged for the next Append
+	meta   Meta
+	onDump func(reason string, r *Recorder)
+}
+
+// New builds a recorder holding the last capacity records (minimum 1;
+// non-positive selects 4096).
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Recorder{buf: make([]Record, capacity), meta: Meta{Version: FormatVersion, Capacity: capacity}}
+}
+
+// Append writes one record, stamping its Epoch from the recorder's
+// sequence counter and merging (then clearing) any staged flags. The
+// hot-path cost is one uncontended mutex and a struct copy.
+func (r *Recorder) Append(rec Record) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	rec.Epoch = r.seq
+	rec.Flags |= r.staged
+	r.staged = 0
+	r.seq++
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+	if r.count < len(r.buf) {
+		r.count++
+	}
+	r.mu.Unlock()
+}
+
+// StageFlags ORs bits into the flag set the next Append will carry.
+// The supervisor stages sanitization/mode evidence before stepping the
+// inner controller, which then writes the epoch's record.
+func (r *Recorder) StageFlags(flags uint32) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.staged |= flags
+	r.mu.Unlock()
+}
+
+// Snapshot returns the ring contents in chronological order.
+func (r *Recorder) Snapshot() []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Record, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	n := copy(out, r.buf[start:min(start+r.count, len(r.buf))])
+	copy(out[n:], r.buf[:r.count-n])
+	return out
+}
+
+// Len reports how many records the ring currently holds.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Seq reports how many records were ever appended.
+func (r *Recorder) Seq() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Capacity reports the ring size (0 on a nil recorder).
+func (r *Recorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// SetMeta attaches the run identity included in every dump. Version and
+// Capacity are maintained by the recorder itself.
+func (r *Recorder) SetMeta(m Meta) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	m.Version = FormatVersion
+	m.Capacity = len(r.buf)
+	r.meta = m
+	r.mu.Unlock()
+}
+
+// Meta returns the attached run identity with Epochs filled from the
+// append sequence.
+func (r *Recorder) Meta() Meta {
+	if r == nil {
+		return Meta{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.meta
+	m.Epochs = int(r.seq)
+	return m
+}
+
+// Reset clears the ring and the sequence counter (the meta stays).
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.next, r.count, r.seq, r.staged = 0, 0, 0, 0
+	r.mu.Unlock()
+}
+
+// SetOnDump installs the callback RequestDump invokes (e.g. write a
+// dump file). The callback runs on the requesting goroutine without the
+// recorder lock held, so it may call Snapshot/WriteBinary freely.
+func (r *Recorder) SetOnDump(fn func(reason string, r *Recorder)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.onDump = fn
+	r.mu.Unlock()
+}
+
+// RequestDump triggers the dump callback with the given reason (the
+// supervisor calls it on fallback entry). Without a callback it is a
+// no-op: recording continues and the ring stays inspectable.
+func (r *Recorder) RequestDump(reason string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	fn := r.onDump
+	r.mu.Unlock()
+	if fn != nil {
+		fn(reason, r)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,55 @@
+package flightrec
+
+import (
+	"net/http"
+	"os"
+	"os/signal"
+)
+
+// Handler serves the recorder for the diagnostics server's
+// /debug/flightrec endpoint: a binary dump by default (save it and feed
+// it to mimodoctor), or JSONL with ?format=jsonl.
+func Handler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = writeJSONL(w, metaWithReason(r, "http"), r.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="flightrec.frec"`)
+		_ = writeBinary(w, metaWithReason(r, "http"), r.Snapshot())
+	})
+}
+
+func metaWithReason(r *Recorder, reason string) Meta {
+	m := r.Meta()
+	m.Reason = reason
+	return m
+}
+
+// DumpOnSignal arms a black-box trigger: every delivery of sig (e.g.
+// syscall.SIGQUIT) dumps the recorder to path. The returned stop
+// function disarms it. Errors are reported through errFn when non-nil
+// (a signal handler has no caller to return to); nil ignores them.
+func DumpOnSignal(r *Recorder, sig os.Signal, path string, errFn func(error)) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, sig)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				if err := r.WriteFile(path, "signal"); err != nil && errFn != nil {
+					errFn(err)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

@@ -1,0 +1,112 @@
+package health
+
+import "math"
+
+// chiSquaredSurvival returns P(X > x) for X ~ χ²_k, the p-value of the
+// Ljung–Box statistic. It is the regularized upper incomplete gamma
+// function Q(k/2, x/2), computed with the classic series / continued
+// fraction split (series for x < a+1, Lentz continued fraction
+// otherwise) so the only stdlib dependency is math.Lgamma.
+func chiSquaredSurvival(x float64, k int) float64 {
+	if k <= 0 || math.IsNaN(x) {
+		return math.NaN()
+	}
+	if x <= 0 {
+		return 1
+	}
+	if math.IsInf(x, 1) {
+		return 0
+	}
+	a := float64(k) / 2
+	x = x / 2
+	if x < a+1 {
+		return 1 - gammaSeriesP(a, x)
+	}
+	return gammaContinuedQ(a, x)
+}
+
+// gammaSeriesP evaluates the regularized lower incomplete gamma
+// P(a, x) by its power series (converges fast for x < a+1).
+func gammaSeriesP(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaContinuedQ evaluates the regularized upper incomplete gamma
+// Q(a, x) by the Lentz continued fraction (converges fast for x ≥ a+1).
+func gammaContinuedQ(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// ljungBoxP computes the Ljung–Box portmanteau p-value of xs: the
+// probability that a white-noise sequence shows autocorrelation at
+// least this strong over the first `lags` lags. Small p means the
+// innovation sequence is not white — the Kalman filter's model no
+// longer explains the measurements (a white innovation is the textbook
+// optimality certificate for a correct model). Returns 1 when the
+// sample is too short or degenerate to test.
+func ljungBoxP(xs []float64, lags int) float64 {
+	n := len(xs)
+	if lags <= 0 || n < lags+2 {
+		return 1
+	}
+	mean := 0.0
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(n)
+	c0 := 0.0
+	for _, v := range xs {
+		d := v - mean
+		c0 += d * d
+	}
+	if c0 <= 0 || math.IsNaN(c0) || math.IsInf(c0, 0) {
+		return 1
+	}
+	q := 0.0
+	for k := 1; k <= lags; k++ {
+		ck := 0.0
+		for i := k; i < n; i++ {
+			ck += (xs[i] - mean) * (xs[i-k] - mean)
+		}
+		rho := ck / c0
+		q += rho * rho / float64(n-k)
+	}
+	q *= float64(n) * (float64(n) + 2)
+	return chiSquaredSurvival(q, lags)
+}

@@ -1,0 +1,53 @@
+package health
+
+import (
+	"sync/atomic"
+
+	"mimoctl/internal/telemetry"
+)
+
+// Telemetry binding for the model-health monitors, following the
+// repo-wide pattern: a process-level atomic binding installed by
+// SetTelemetry, re-read at publish time, nil meaning uninstrumented.
+
+type healthMetrics struct {
+	whitenessIPS    telemetry.Gauge
+	whitenessPower  telemetry.Gauge
+	consumptionIPS  telemetry.Gauge
+	consumptionPow  telemetry.Gauge
+	stabilityMargin telemetry.Gauge
+	level           telemetry.Gauge
+}
+
+var healthTel atomic.Pointer[healthMetrics]
+
+// SetTelemetry binds the health layer to a metrics registry. Pass nil
+// to disable instrumentation.
+func SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		healthTel.Store(nil)
+		return
+	}
+	m := &healthMetrics{
+		whitenessIPS:    reg.Gauge("health_whiteness_pvalue", "Ljung-Box innovation whiteness p-value", telemetry.L("channel", "ips")),
+		whitenessPower:  reg.Gauge("health_whiteness_pvalue", "Ljung-Box innovation whiteness p-value", telemetry.L("channel", "power")),
+		consumptionIPS:  reg.Gauge("health_guardband_consumption", "EMA innovation magnitude over the design guardband", telemetry.L("channel", "ips")),
+		consumptionPow:  reg.Gauge("health_guardband_consumption", "EMA innovation magnitude over the design guardband", telemetry.L("channel", "power")),
+		stabilityMargin: reg.Gauge("health_stability_margin", "small-gain margin recomputed with the observed guardband"),
+		level:           reg.Gauge("health_level", "combined model-health verdict (0 ok, 1 warn, 2 fail)"),
+	}
+	healthTel.Store(m)
+}
+
+// publish mirrors one evaluation into the gauges. The per-channel
+// whiteness gauges both receive the combined (minimum) p-value: the
+// verdict is per-loop, the labels keep the family shape stable if a
+// per-channel split is wanted later.
+func (t *healthMetrics) publish(s Snapshot, cons [2]float64) {
+	t.whitenessIPS.Set(s.WhitenessP)
+	t.whitenessPower.Set(s.WhitenessP)
+	t.consumptionIPS.Set(cons[0])
+	t.consumptionPow.Set(cons[1])
+	t.stabilityMargin.Set(s.StabilityMargin)
+	t.level.Set(float64(s.Level))
+}

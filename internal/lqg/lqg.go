@@ -512,6 +512,23 @@ func (c *Controller) LastInnovation() []float64 {
 	return append([]float64(nil), c.lastInnov...)
 }
 
+// LastInnovationInto appends the most recent innovation to dst[:0] and
+// returns it, so callers with a preallocated buffer (the MIMO wrapper's
+// telemetry path, the flight recorder) avoid the copy in
+// LastInnovation allocating on every step.
+func (c *Controller) LastInnovationInto(dst []float64) []float64 {
+	return append(dst[:0], c.lastInnov...)
+}
+
+// LastExcessNorm returns ‖u_requested − u_applied‖₂ from the most
+// recent actuation (zero when the actuator realized the request
+// exactly). A persistently nonzero excess means the controller is
+// asking for inputs the hardware cannot deliver — saturation, the
+// flight recorder's actuator-trouble signal.
+func (c *Controller) LastExcessNorm() float64 {
+	return mat.VecNorm2(c.lastExcess)
+}
+
 // KalmanGain returns a copy of the filtered-form estimator gain.
 func (c *Controller) KalmanGain() *mat.Matrix { return c.lc.Clone() }
 

@@ -1,8 +1,10 @@
 package supervisor
 
 import (
+	"fmt"
 	"sync/atomic"
 
+	"mimoctl/internal/health"
 	"mimoctl/internal/telemetry"
 )
 
@@ -70,10 +72,26 @@ func SetTelemetry(reg *telemetry.Registry) {
 
 // Healthz reports process health for the diagnostics endpoint: healthy
 // while the most recently transitioned supervisor is engaged, unhealthy
-// once one has entered the safe-state fallback.
+// once one has entered the safe-state fallback. When a model-health
+// monitor publishes (health.Current), its verdict is folded in: a
+// LevelFail (innovation not white, guardband exhausted, or small-gain
+// certificate lost) degrades the endpoint to 503 even while the
+// supervisor is still nominally engaged, and a LevelWarn annotates the
+// healthy response — the operator's early warning, straight from the
+// paper's runtime-checked stability story.
 func Healthz() (ok bool, detail string) {
 	if currentMode.Load() == int32(ModeFallback) {
 		return false, "supervisor in fallback: pinned at the safe configuration"
+	}
+	if snap, published := health.Current(); published {
+		switch snap.Level {
+		case health.LevelFail:
+			return false, fmt.Sprintf("supervisor engaged; model health fail: %s (whiteness p=%.2g, guardband %.0f%%, margin %.2f)",
+				snap.Detail, snap.WhitenessP, 100*snap.GuardbandConsumption, snap.StabilityMargin)
+		case health.LevelWarn:
+			return true, fmt.Sprintf("supervisor engaged; model health warn: %s (whiteness p=%.2g, guardband %.0f%%, margin %.2f)",
+				snap.Detail, snap.WhitenessP, 100*snap.GuardbandConsumption, snap.StabilityMargin)
+		}
 	}
 	return true, "supervisor engaged"
 }

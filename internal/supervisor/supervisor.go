@@ -35,6 +35,8 @@ import (
 	"math"
 
 	"mimoctl/internal/core"
+	"mimoctl/internal/flightrec"
+	"mimoctl/internal/health"
 	"mimoctl/internal/sim"
 )
 
@@ -138,6 +140,12 @@ type Options struct {
 	// prevents mode flapping.
 	ReengageAfter     int
 	MinFallbackEpochs int
+
+	// ModelHealth, when set, receives every engaged epoch's Kalman
+	// innovation (internal/health): the streaming whiteness test,
+	// guardband-consumption gauge, and stability-margin recompute run
+	// there and surface through Healthz and the telemetry registry.
+	ModelHealth *health.Monitor
 }
 
 func (o Options) withDefaults() Options {
@@ -254,6 +262,14 @@ type Supervised struct {
 	// Fallback/hysteresis state.
 	fallbackEpochs int
 	healthyStreak  int
+
+	// Flight recording. When the inner controller is itself Recordable
+	// it writes the engaged epochs (with the supervisor's evidence
+	// staged as flags); the supervisor writes the epochs the inner never
+	// sees: fallback pins, actuation-backoff holds.
+	rec          *flightrec.Recorder
+	innerRecords bool
+	innovScratch [2]float64
 }
 
 // New wraps the inner controller. The inner controller's current
@@ -277,6 +293,29 @@ func (s *Supervised) Mode() Mode { return s.mode }
 
 // SafeConfig returns the fallback configuration.
 func (s *Supervised) SafeConfig() sim.Config { return s.opts.Safe }
+
+// SetFlightRecorder attaches (or, with nil, detaches) a flight
+// recorder. Implements flightrec.Recordable. The recorder is also
+// handed to the inner controller when it is Recordable, so engaged
+// epochs carry the full controller internals (innovation, continuous
+// request); the supervisor only authors the epochs the inner never
+// steps.
+func (s *Supervised) SetFlightRecorder(r *flightrec.Recorder) {
+	s.rec = r
+	if rc, ok := s.inner.(flightrec.Recordable); ok {
+		rc.SetFlightRecorder(r)
+		s.innerRecords = r != nil
+	} else {
+		s.innerRecords = false
+	}
+}
+
+// FlightRecorder returns the attached recorder (nil when detached).
+func (s *Supervised) FlightRecorder() *flightrec.Recorder { return s.rec }
+
+// ModelHealth returns the attached model-health monitor (nil when none
+// was configured).
+func (s *Supervised) ModelHealth() *health.Monitor { return s.opts.ModelHealth }
 
 // Health returns the counters since the last Reset, including the
 // inner controller's absorbed-error count when it reports one.
@@ -353,7 +392,21 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 	if m != nil {
 		m.epochs.Inc()
 	}
-	clean := s.sanitize(&t, m)
+	ipsOK, powerOK := s.sanitize(&t, m)
+	clean := ipsOK && powerOK
+	var flags uint32
+	if s.rec != nil {
+		flags = flightrec.FlagSupervised
+		if !ipsOK {
+			flags |= flightrec.FlagSanitizedIPS
+		}
+		if !powerOK {
+			flags |= flightrec.FlagSanitizedPower
+		}
+		if !s.applyOK {
+			flags |= flightrec.FlagApplyError
+		}
+	}
 
 	if s.mode == ModeFallback {
 		s.health.FallbackEpochs++
@@ -369,6 +422,7 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 		if s.fallbackEpochs >= s.opts.MinFallbackEpochs && s.healthyStreak >= s.opts.ReengageAfter {
 			s.reengage()
 		}
+		s.recordEpoch(t, s.opts.Safe, flags|flightrec.FlagFallback, flightrec.ModeFallback)
 		return s.opts.Safe
 	}
 
@@ -413,6 +467,7 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 	}
 	if s.sickStreak >= s.opts.FallbackAfter {
 		s.enterFallback()
+		s.recordEpoch(t, s.opts.Safe, flags|flightrec.FlagFallback, flightrec.ModeFallback)
 		return s.opts.Safe
 	}
 
@@ -422,6 +477,7 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 	if !s.applyOK && s.haveRequested {
 		if s.holdEpochs > 0 {
 			s.holdEpochs--
+			s.recordEpoch(t, t.Config, flags|flightrec.FlagHold, flightrec.ModeEngaged)
 			return t.Config
 		}
 		s.health.ApplyRetries++
@@ -434,10 +490,18 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 			s.backoff *= 2
 		}
 		s.holdEpochs = s.backoff
+		s.recordEpoch(t, s.lastRequested, flags|flightrec.FlagHold, flightrec.ModeEngaged)
 		return s.lastRequested
 	}
 
+	if s.innerRecords {
+		// The inner controller writes this epoch's record during its
+		// Step; hand it the supervisor's evidence to merge in.
+		s.rec.StageFlags(flags)
+	}
 	cfg := s.inner.Step(t)
+	s.observeModelHealth()
+	illegal := false
 	if err := cfg.Validate(); err != nil {
 		// An illegal request must never reach the hardware: hold the
 		// plant's current (known legal) configuration instead.
@@ -446,17 +510,87 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 			m.illegalConfigs.Inc()
 		}
 		cfg = t.Config
+		illegal = true
+	}
+	if s.innerRecords {
+		if illegal {
+			// The inner's record for this epoch is already written; the
+			// flag rides on the next one (one-epoch smear, still visible).
+			s.rec.StageFlags(flightrec.FlagIllegalConfig)
+		}
+	} else {
+		if illegal {
+			flags |= flightrec.FlagIllegalConfig
+		}
+		s.recordEpoch(t, cfg, flags, flightrec.ModeEngaged)
 	}
 	s.lastRequested = cfg
 	s.haveRequested = true
 	return cfg
 }
 
+// innovationIntoReporter is the allocation-free variant of
+// InnovationReporter (core.MIMOController implements both).
+type innovationIntoReporter interface {
+	LastInnovationInto([]float64) []float64
+}
+
+// observeModelHealth streams the freshly stepped inner controller's
+// innovation into the model-health monitor.
+func (s *Supervised) observeModelHealth() {
+	mon := s.opts.ModelHealth
+	if mon == nil {
+		return
+	}
+	var innov []float64
+	if ir, ok := s.inner.(innovationIntoReporter); ok {
+		innov = ir.LastInnovationInto(s.innovScratch[:0])
+	} else if ir, ok := s.inner.(InnovationReporter); ok {
+		innov = ir.LastInnovation()
+	}
+	if len(innov) >= 2 {
+		mon.Observe(innov[0], innov[1])
+	}
+}
+
+// recordEpoch writes a supervisor-authored flight record for epochs the
+// inner controller did not step (fallback, holds) or cannot record
+// itself. Controller internals (innovation, continuous request, excess)
+// are NaN: nothing computed them this epoch.
+func (s *Supervised) recordEpoch(t sim.Telemetry, req sim.Config, flags uint32, mode uint8) {
+	if s.rec == nil {
+		return
+	}
+	nan := math.NaN()
+	s.rec.Append(flightrec.Record{
+		Flags:       flags,
+		Mode:        mode,
+		IPSTarget:   s.ipsTarget,
+		PowerTarget: s.powerTarget,
+		MeasIPS:     t.IPS,
+		MeasPowerW:  t.PowerW,
+		TrueIPS:     t.TrueIPS,
+		TruePowerW:  t.TruePowerW,
+		InnovIPS:    nan,
+		InnovPowerW: nan,
+		ExcessNorm:  nan,
+		UFreqGHz:    nan,
+		UL2Ways:     nan,
+		UROBEntries: nan,
+		ReqFreq:     int16(req.FreqIdx),
+		ReqCache:    int16(req.CacheIdx),
+		ReqROB:      int16(req.ROBIdx),
+		CfgFreq:     int16(t.Config.FreqIdx),
+		CfgCache:    int16(t.Config.CacheIdx),
+		CfgROB:      int16(t.Config.ROBIdx),
+	})
+}
+
 // sanitize replaces implausible sensor readings with the last good ones
 // (or the targets before any good reading exists) and maintains the
-// per-channel staleness counters. It reports whether the raw sample was
-// clean on both channels.
-func (s *Supervised) sanitize(t *sim.Telemetry, m *supMetrics) bool {
+// per-channel staleness counters. It reports per channel whether the
+// raw sample was plausible.
+func (s *Supervised) sanitize(t *sim.Telemetry, m *supMetrics) (cleanIPS, cleanPower bool) {
 	ipsOK := plausible(t.IPS, s.opts.MinIPS, s.opts.MaxIPS)
 	powerOK := plausible(t.PowerW, s.opts.MinPowerW, s.opts.MaxPowerW)
 	if ipsOK {
@@ -504,7 +638,7 @@ func (s *Supervised) sanitize(t *sim.Telemetry, m *supMetrics) bool {
 	} else {
 		t.L2MPKI = s.goodL2
 	}
-	return ipsOK && powerOK
+	return ipsOK, powerOK
 }
 
 // relInnovation maps the inner controller's innovation vector [IPS, W]
@@ -546,6 +680,9 @@ func (s *Supervised) enterFallback() {
 		m.toFallback.Inc()
 	}
 	markMode(m, ModeFallback)
+	// Preserve the evidence: dump the ring the moment the loop gives up,
+	// while the fault-era records are still in it.
+	s.rec.RequestDump("supervisor-fallback")
 	s.fallbackEpochs = 0
 	s.healthyStreak = 0
 	s.sickStreak = 0

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestJSONFloatRoundTrip(t *testing.T) {
+	cases := []struct {
+		v    float64
+		text string
+	}{
+		{1.25, "1.25"},
+		{0, "0"},
+		{-3e-9, "-3e-9"},
+		{math.NaN(), `"NaN"`},
+		{math.Inf(1), `"+Inf"`},
+		{math.Inf(-1), `"-Inf"`},
+	}
+	for _, c := range cases {
+		b, err := json.Marshal(JSONFloat(c.v))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", c.v, err)
+		}
+		if string(b) != c.text {
+			t.Errorf("marshal %v = %s, want %s", c.v, b, c.text)
+		}
+		var back JSONFloat
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if math.Float64bits(float64(back)) != math.Float64bits(c.v) &&
+			!(math.IsNaN(float64(back)) && math.IsNaN(c.v)) {
+			t.Errorf("round trip %v -> %v", c.v, float64(back))
+		}
+	}
+}
+
+func TestJSONFloatAcceptsBareInf(t *testing.T) {
+	var f JSONFloat
+	if err := json.Unmarshal([]byte(`"Inf"`), &f); err != nil || !math.IsInf(float64(f), 1) {
+		t.Fatalf(`"Inf" decoded to %v, err %v`, float64(f), err)
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &f); err == nil {
+		t.Fatal("bogus sentinel accepted")
+	}
+}
+
+// TestJSONLTraceNaNInfRoundTrip is the end-to-end satellite: a faulted
+// run's JSONL trace encodes non-finite readings as sentinels and
+// ReadEpochEventsJSONL restores them bit-exactly.
+func TestJSONLTraceNaNInfRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	events := []EpochEvent{
+		{Epoch: 0, IPS: 2.5, PowerW: 2.0, InnovIPS: 0.01, Mode: "engaged"},
+		{Epoch: 1, IPS: math.NaN(), PowerW: math.Inf(1), TrueIPS: 2.4, InnovIPS: math.NaN()},
+		{Epoch: 2, IPS: 2.6, PowerW: math.Inf(-1), TempC: math.NaN()},
+	}
+	for _, e := range events {
+		if err := sink.WriteEvent(e); err != nil {
+			t.Fatalf("write epoch %d: %v", e.Epoch, err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "null") {
+		t.Fatalf("trace contains null: %s", buf.String())
+	}
+
+	got, err := ReadEpochEventsJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	}
+	eq := func(a, b float64) bool {
+		return math.Float64bits(a) == math.Float64bits(b) || (math.IsNaN(a) && math.IsNaN(b))
+	}
+	for i, e := range events {
+		g := got[i]
+		if g.Epoch != e.Epoch || !eq(g.IPS, e.IPS) || !eq(g.PowerW, e.PowerW) ||
+			!eq(g.TrueIPS, e.TrueIPS) || !eq(g.InnovIPS, e.InnovIPS) || !eq(g.TempC, e.TempC) || g.Mode != e.Mode {
+			t.Errorf("event %d did not round-trip:\n got %+v\nwant %+v", i, g, e)
+		}
+	}
+}

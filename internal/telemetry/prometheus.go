@@ -44,9 +44,53 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		for i, inst := range insts {
 			inst.render(&sb, f.name, keys[i])
 		}
+		if f.typ == "histogram" {
+			renderQuantiles(&sb, f.name, keys, insts)
+		}
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err
+}
+
+// quantileExports are the quantiles surfaced for every histogram.
+var quantileExports = []struct {
+	q     float64
+	label string
+}{{0.5, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}}
+
+// renderQuantiles emits a companion <name>_quantile gauge family with
+// p50/p95/p99 estimates for each histogram instrument, computed from
+// the bucket snapshot at scrape time (see HistogramSnapshot.Quantile).
+// Scrape-time estimation keeps Observe untouched — the hot path stays
+// a bucket scan plus two atomics (gated by TestHistogramObserveAllocFree).
+func renderQuantiles(sb *strings.Builder, name string, keys []string, insts []renderable) {
+	qname := name + "_quantile"
+	sb.WriteString("# HELP ")
+	sb.WriteString(qname)
+	sb.WriteString(" estimated quantiles of ")
+	sb.WriteString(name)
+	sb.WriteString(" (linear interpolation within buckets)\n# TYPE ")
+	sb.WriteString(qname)
+	sb.WriteString(" gauge\n")
+	for i, inst := range insts {
+		h, ok := inst.(*histogram)
+		if !ok {
+			continue
+		}
+		s := h.Snapshot()
+		for _, qe := range quantileExports {
+			writeSample(sb, qname, withQuantile(keys[i], qe.label), formatFloat(s.Quantile(qe.q)))
+		}
+	}
+}
+
+// withQuantile appends the quantile label to an already-rendered label
+// string.
+func withQuantile(labels, q string) string {
+	if labels == "" {
+		return `{quantile="` + q + `"}`
+	}
+	return labels[:len(labels)-1] + `,quantile="` + q + `"}`
 }
 
 func escapeHelp(h string) string {

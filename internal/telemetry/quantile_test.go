@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "quantile test", LinearBuckets(10, 10, 10)) // 10..100
+	for v := 1.0; v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Uniform 1..100 over 10-wide buckets: the interpolated quantiles
+	// land within one bucket width of the exact order statistics.
+	for _, tc := range []struct{ q, want float64 }{{0.5, 50}, {0.95, 95}, {0.99, 99}} {
+		got := s.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 10 {
+			t.Errorf("q%.2f = %.1f, want ~%.1f", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty snapshot quantile must be NaN")
+	}
+	r := NewRegistry()
+	h := r.Histogram("edge_seconds", "edge", []float64{1, 2})
+	h.Observe(100) // lands in +Inf bucket
+	if got := h.Snapshot().Quantile(0.99); got != 2 {
+		t.Errorf("+Inf-bucket quantile = %v, want highest finite bound 2", got)
+	}
+}
+
+func TestPrometheusExposesQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("step_seconds", "step latency", []float64{0.1, 1}, L("arch", "mimo"))
+	h.Observe(0.05)
+	h.Observe(0.5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE step_seconds_quantile gauge",
+		`step_seconds_quantile{arch="mimo",quantile="0.5"}`,
+		`step_seconds_quantile{arch="mimo",quantile="0.95"}`,
+		`step_seconds_quantile{arch="mimo",quantile="0.99"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramObserveAllocFree gates the hot path: quantiles are
+// estimated at scrape time, so Observe stays allocation-free on both
+// the live and the nop tier.
+func TestHistogramObserveAllocFree(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		reg  *Registry
+	}{{"live", NewRegistry()}, {"nop", Nop()}, {"nil", nil}} {
+		h := tc.reg.Histogram("alloc_seconds", "alloc gate", []float64{0.1, 1, 10})
+		allocs := testing.AllocsPerRun(1000, func() { h.Observe(0.5) })
+		if allocs != 0 {
+			t.Errorf("%s: Observe allocates %.1f per op, want 0", tc.name, allocs)
+		}
+	}
+}

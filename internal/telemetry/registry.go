@@ -67,6 +67,42 @@ type HistogramSnapshot struct {
 	Count   uint64
 }
 
+// Quantile estimates the q-quantile (0 < q < 1) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// rank, following the Prometheus histogram_quantile convention: the
+// first bucket's lower edge is 0 when its bound is positive (its own
+// bound otherwise), and ranks landing in the +Inf bucket return the
+// highest finite bound. An empty snapshot yields NaN.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	rank := q * float64(s.Count)
+	cum := uint64(0)
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Buckets) {
+			break // +Inf bucket
+		}
+		hi := s.Buckets[i]
+		lo := 0.0
+		if i > 0 {
+			lo = s.Buckets[i-1]
+		} else if hi <= 0 {
+			lo = hi
+		}
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return s.Buckets[len(s.Buckets)-1]
+}
+
 // Label is one constant name="value" pair attached to an instrument.
 type Label struct{ Name, Value string }
 

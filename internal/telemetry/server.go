@@ -23,6 +23,20 @@ type ServerOptions struct {
 	// Trace, when non-nil, adds /trace serving the recorder's ring as
 	// JSONL (add ?format=csv for CSV).
 	Trace *TraceRecorder
+	// Extra mounts additional diagnostics routes (e.g. the flight
+	// recorder's /debug/flightrec) without this package importing their
+	// providers. Each entry is listed on the index page.
+	Extra []Endpoint
+}
+
+// Endpoint is one additional diagnostics route mounted by NewMux.
+type Endpoint struct {
+	// Path is the mux pattern (e.g. "/debug/flightrec").
+	Path string
+	// Desc is the one-line index description.
+	Desc string
+	// Handler serves the route.
+	Handler http.Handler
 }
 
 // Server is a live diagnostics HTTP server:
@@ -67,6 +81,9 @@ func NewMux(opts ServerOptions) *http.ServeMux {
 			_ = opts.Trace.WriteJSONL(w)
 		})
 	}
+	for _, e := range opts.Extra {
+		mux.Handle(e.Path, e.Handler)
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -84,6 +101,9 @@ func NewMux(opts ServerOptions) *http.ServeMux {
 		fmt.Fprintln(w, "  /healthz      liveness (503 while in supervisor fallback)")
 		if opts.Trace != nil {
 			fmt.Fprintln(w, "  /trace        recent epoch events (JSONL; ?format=csv)")
+		}
+		for _, e := range opts.Extra {
+			fmt.Fprintf(w, "  %-13s %s\n", e.Path, e.Desc)
 		}
 		fmt.Fprintln(w, "  /debug/vars   expvar JSON")
 		fmt.Fprintln(w, "  /debug/pprof  profiling")

@@ -39,6 +39,79 @@ type EpochEvent struct {
 	Mode string `json:"mode,omitempty"`
 }
 
+// epochEventWire mirrors EpochEvent with JSONFloat fields so JSONL
+// traces survive NaN/Inf samples (see JSONFloat); a faulted sensor is
+// exactly when a trace matters, and encoding/json would otherwise fail
+// the whole line. Field tags must match EpochEvent's.
+type epochEventWire struct {
+	Epoch       int       `json:"epoch"`
+	IPSTarget   JSONFloat `json:"ips_target"`
+	PowerTarget JSONFloat `json:"power_target"`
+	IPS         JSONFloat `json:"ips_meas"`
+	PowerW      JSONFloat `json:"power_meas"`
+	TrueIPS     JSONFloat `json:"ips_true"`
+	TruePowerW  JSONFloat `json:"power_true"`
+	FreqGHz     JSONFloat `json:"freq_ghz"`
+	L2Ways      int       `json:"l2_ways"`
+	ROBEntries  int       `json:"rob"`
+	TempC       JSONFloat `json:"temp_c"`
+	PhaseID     int       `json:"phase"`
+	InnovIPS    JSONFloat `json:"innov_ips"`
+	InnovPower  JSONFloat `json:"innov_power"`
+	Mode        string    `json:"mode,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with non-finite sentinels.
+func (e EpochEvent) MarshalJSON() ([]byte, error) {
+	return json.Marshal(epochEventWire{
+		Epoch:     e.Epoch,
+		IPSTarget: JSONFloat(e.IPSTarget), PowerTarget: JSONFloat(e.PowerTarget),
+		IPS: JSONFloat(e.IPS), PowerW: JSONFloat(e.PowerW),
+		TrueIPS: JSONFloat(e.TrueIPS), TruePowerW: JSONFloat(e.TruePowerW),
+		FreqGHz: JSONFloat(e.FreqGHz), L2Ways: e.L2Ways, ROBEntries: e.ROBEntries,
+		TempC: JSONFloat(e.TempC), PhaseID: e.PhaseID,
+		InnovIPS: JSONFloat(e.InnovIPS), InnovPower: JSONFloat(e.InnovPower),
+		Mode: e.Mode,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting both plain
+// numbers and the non-finite sentinels.
+func (e *EpochEvent) UnmarshalJSON(b []byte) error {
+	var w epochEventWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*e = EpochEvent{
+		Epoch:     w.Epoch,
+		IPSTarget: float64(w.IPSTarget), PowerTarget: float64(w.PowerTarget),
+		IPS: float64(w.IPS), PowerW: float64(w.PowerW),
+		TrueIPS: float64(w.TrueIPS), TruePowerW: float64(w.TruePowerW),
+		FreqGHz: float64(w.FreqGHz), L2Ways: w.L2Ways, ROBEntries: w.ROBEntries,
+		TempC: float64(w.TempC), PhaseID: w.PhaseID,
+		InnovIPS: float64(w.InnovIPS), InnovPower: float64(w.InnovPower),
+		Mode: w.Mode,
+	}
+	return nil
+}
+
+// ReadEpochEventsJSONL decodes a JSONL trace written by JSONLSink or
+// TraceRecorder.WriteJSONL — the round-trip counterpart of the sink.
+func ReadEpochEventsJSONL(r io.Reader) ([]EpochEvent, error) {
+	dec := json.NewDecoder(r)
+	var out []EpochEvent
+	for {
+		var e EpochEvent
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
 // TraceColumns is the CSV column order of an EpochEvent, shared by the
 // CSV sink and any external plotting script.
 var TraceColumns = []string{
