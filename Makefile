@@ -24,9 +24,10 @@ fuzz:
 golden:
 	$(GO) test ./internal/experiments/ -run TestGolden -update
 
-# golden-doctor re-records the committed flight-recorder dump the
-# mimodoctor smoke job diagnoses (testdata/golden/doctor_sensor-freeze.frec);
-# needed after an intentional recording-format or control-loop change.
+# golden-doctor re-records the committed flight-recorder dumps the
+# mimodoctor smoke job diagnoses (testdata/golden/doctor_sensor-freeze.frec
+# and doctor_plant-drift.frec); needed after an intentional
+# recording-format or control-loop change.
 golden-doctor:
 	$(GO) test ./internal/experiments/ -run TestGoldenDoctorDump -update
 

@@ -10,7 +10,7 @@
 // Usage:
 //
 //	mimodoctor [-json] [-replay] [-expect cause] <dump.frec|dump.jsonl>
-//	mimodoctor -record CLASS -o FILE [-arch mimo|supervised] [-seed N] [-epochs N] [-cap N]
+//	mimodoctor -record CLASS -o FILE [-arch mimo|supervised|adaptive] [-seed N] [-epochs N] [-cap N]
 //
 // Examples:
 //

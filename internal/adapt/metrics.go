@@ -1,0 +1,49 @@
+package adapt
+
+import (
+	"sync/atomic"
+
+	"mimoctl/internal/telemetry"
+)
+
+// Telemetry binding for the adaptation loop, following the repo-wide
+// pattern: a process-level atomic binding installed by SetTelemetry,
+// re-read at publish time, nil meaning uninstrumented.
+
+type adaptMetrics struct {
+	state      telemetry.Gauge
+	excitation telemetry.Gauge
+	lastMargin telemetry.Gauge
+
+	triggers       telemetry.Counter
+	exciteEpochs   telemetry.Counter
+	redesigns      telemetry.Counter
+	verifyFailures telemetry.Counter
+	swaps          telemetry.Counter
+	reverts        telemetry.Counter
+	giveUps        telemetry.Counter
+}
+
+var adaptTel atomic.Pointer[adaptMetrics]
+
+// SetTelemetry binds the adaptation layer to a metrics registry. Pass
+// nil to disable instrumentation.
+func SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		adaptTel.Store(nil)
+		return
+	}
+	m := &adaptMetrics{
+		state:          reg.Gauge("adapt_state", "adaptation state machine position (0 nominal, 1 drifted, 2 exciting, 3 redesigning, 4 verifying, 5 swapped)"),
+		excitation:     reg.Gauge("adapt_excitation_cov", "RLS poor-excitation metric: max diagonal of the parameter covariance"),
+		lastMargin:     reg.Gauge("adapt_last_margin", "small-gain margin of the last candidate verification (1/peak-gain)"),
+		triggers:       reg.Counter("adapt_triggers_total", "accepted drift episodes"),
+		exciteEpochs:   reg.Counter("adapt_excite_epochs_total", "epochs carrying identification dither"),
+		redesigns:      reg.Counter("adapt_redesigns_total", "candidate design computations"),
+		verifyFailures: reg.Counter("adapt_verify_failures_total", "candidates rejected by the inflated-guardband small-gain gate"),
+		swaps:          reg.Counter("adapt_swaps_total", "accepted controller gain hot-swaps"),
+		reverts:        reg.Counter("adapt_reverts_total", "hot swaps undone after failing post-swap probation"),
+		giveUps:        reg.Counter("adapt_giveups_total", "drift episodes abandoned after the attempt budget"),
+	}
+	adaptTel.Store(m)
+}

@@ -301,6 +301,44 @@ func (c *MIMOController) appendRecord(t sim.Telemetry, req sim.Config, flags uin
 	c.fr.Append(rec)
 }
 
+// AdoptDesign hot-swaps a freshly designed LQG controller (and the
+// operating point its deviation coordinates are anchored to) into this
+// wrapper: the adaptation loop's re-identified model arrives here after
+// it passes the inflated-guardband small-gain check. The new controller
+// must have the same input/output shape as the old one. Its runtime
+// state is reset — the estimator must not inherit state expressed in
+// the old model's coordinates — and the current targets are re-applied
+// in the new offset frame.
+func (c *MIMOController) AdoptDesign(lq *lqg.Controller, off sysid.Offsets) error {
+	if lq.Plant().Inputs() != c.lq.Plant().Inputs() {
+		return fmt.Errorf("core: adopted controller has %d inputs, want %d", lq.Plant().Inputs(), c.lq.Plant().Inputs())
+	}
+	if lq.Plant().Outputs() != c.lq.Plant().Outputs() {
+		return fmt.Errorf("core: adopted controller has %d outputs, want %d", lq.Plant().Outputs(), c.lq.Plant().Outputs())
+	}
+	if len(off.U0) != lq.Plant().Inputs() || len(off.Y0) != lq.Plant().Outputs() {
+		return errors.New("core: adopted offsets do not match the controller shape")
+	}
+	oldLQ, oldOff := c.lq, c.off
+	c.lq, c.off = lq, off
+	c.lq.Reset()
+	if err := c.TrySetTargets(c.ipsTarget, c.powerTarget); err != nil {
+		// The new design cannot even realize the current references:
+		// keep flying the old one.
+		c.lq, c.off = oldLQ, oldOff
+		return fmt.Errorf("core: adopted design rejected targets: %w", err)
+	}
+	return nil
+}
+
+// CurrentDesign returns the deployed LQG controller and operating-point
+// offsets — the pair AdoptDesign installs. The adaptation loop
+// snapshots it before a hot swap so a failed post-swap probation can
+// revert to it.
+func (c *MIMOController) CurrentDesign() (*lqg.Controller, sysid.Offsets) {
+	return c.lq, c.off
+}
+
 // Clone returns an independent controller sharing the immutable design
 // (LQG gains, operating-point offsets) with a deep copy of all runtime
 // state. Experiment jobs clone the one memoized design per job so a

@@ -127,6 +127,7 @@ func (r *FaultSweepResult) Table() ([]string, [][]string) {
 		"fault_power_err_pct", "fault_ips_err_pct",
 		"recovery_power_err_pct", "recovery_ips_err_pct",
 		"sanitized", "fallbacks", "reengagements", "apply_failures",
+		"fallback_epochs", "adapt_swaps",
 		"illegal_configs", "plant_corrupt"}
 	var rows [][]string
 	for _, row := range r.Rows {
@@ -136,6 +137,7 @@ func (r *FaultSweepResult) Table() ([]string, [][]string) {
 			ftoa(row.PowerErrPct), ftoa(row.IPSErrPct),
 			itoa(row.Sanitized), itoa(row.Fallbacks),
 			itoa(row.Reengagements), itoa(row.ApplyFailures),
+			itoa(row.FallbackEpochs), itoa(row.AdaptSwaps),
 			itoa(row.IllegalConfigs), strconv.FormatBool(row.PlantCorrupt),
 		})
 	}

@@ -29,6 +29,7 @@ type FaultClass struct {
 	Name     string
 	Sensor   []sim.SensorFault
 	Actuator []sim.ActuatorFault
+	Plant    []sim.PlantFault
 }
 
 // FaultClasses returns the standard sweep scenarios for a run of the
@@ -57,6 +58,21 @@ func FaultClasses(epochs int) []FaultClass {
 			{Kind: sim.ActError, From: from, Until: until}}},
 		{Name: "actuator-delay", Actuator: []sim.ActuatorFault{
 			{Kind: sim.ActDelay, From: from, Until: until, DelayEpochs: 4}}},
+		// plant-drift is the adaptation-loop scenario: the plant itself
+		// degrades (telemetry stays honest) with output gains ramping
+		// across the window — the core runs faster and hotter, with the
+		// power inflation beyond the 30% guardband the LQG design was
+		// certified for. The degradation persists after the window —
+		// aging does not heal — so only re-identification can restore
+		// tracking.
+		{Name: "plant-drift", Plant: []sim.PlantFault{{
+			Kind: sim.PlantGainDrift, From: from, Until: until,
+			GainRateIPS: 0.15 / float64(until-from), GainLimitIPS: 1.15,
+			GainRatePower: 0.35 / float64(until-from), GainLimitPower: 1.35,
+		}, {
+			Kind: sim.PlantLagDrift, From: from, Until: until,
+			PoleRate: 0.8 / float64(until-from), PoleLimit: 0.8,
+		}}},
 	}
 }
 
@@ -71,10 +87,14 @@ type FaultRow struct {
 	// quarter of the run, after the fault cleared: the recovery test.
 	PowerErrPct, IPSErrPct float64
 	// Supervisor activity (zero for raw controllers).
-	Sanitized     int
-	Fallbacks     int
-	Reengagements int
-	ApplyFailures int
+	Sanitized      int
+	Fallbacks      int
+	Reengagements  int
+	ApplyFailures  int
+	FallbackEpochs int
+	// AdaptSwaps counts accepted hot-swapped redesigns (zero for every
+	// architecture without the adaptation loop).
+	AdaptSwaps int
 	// IllegalConfigs counts configurations that failed validation at
 	// the harness boundary; PlantCorrupt reports a non-finite true
 	// plant output — both must stay zero/false for a survivable run.
@@ -111,14 +131,26 @@ func FaultSweep(seed int64, epochs int) (*FaultSweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Preflight the monitored and adaptive architectures once so a
+	// construction error surfaces here rather than inside a parallel
+	// job; the per-job factory then rebuilds them (each job needs its
+	// own monitor, adapter, and controller clone — all three carry run
+	// state).
+	if _, err := NewMonitoredSupervised(seed); err != nil {
+		return nil, err
+	}
+	if _, err := NewAdaptiveSupervised(seed); err != nil {
+		return nil, err
+	}
 	// One job per (fault class, architecture); each job wraps its own
 	// controller clone (and its own supervisor — supervisor health
 	// counters are per-run results, so sharing one would corrupt them).
 	newCtrl := []func() core.ArchController{
-		func() core.ArchController { return supervisor.New(mimo.Clone(), supervisor.Options{}) },
+		func() core.ArchController { sup, _ := NewMonitoredSupervised(seed); return sup },
 		func() core.ArchController { return mimo.Clone() },
 		func() core.ArchController { return supervisor.New(NewHeuristicTracker(false), supervisor.Options{}) },
 		func() core.ArchController { return supervisor.New(dec.Clone(), supervisor.Options{}) },
+		func() core.ArchController { sup, _ := NewAdaptiveSupervised(seed); return sup },
 	}
 	classes := FaultClasses(epochs)
 	rows := make([]FaultRow, len(classes)*len(newCtrl))
@@ -162,6 +194,9 @@ func runFaulted(ctrl core.ArchController, w sim.Workload, fc FaultClass, seed in
 	}
 	for _, af := range fc.Actuator {
 		inj.AddActuatorFault(af)
+	}
+	for _, pf := range fc.Plant {
+		inj.AddPlantFault(pf)
 	}
 	ctrl.Reset()
 	ctrl.SetTargets(core.DefaultIPSTarget, core.DefaultPowerTarget)
@@ -225,6 +260,10 @@ func runFaulted(ctrl core.ArchController, w sim.Workload, fc FaultClass, seed in
 		row.Fallbacks = h.Fallbacks
 		row.Reengagements = h.Reengagements
 		row.ApplyFailures = h.ApplyFailures
+		row.FallbackEpochs = h.FallbackEpochs
+		if ad := sup.Adapter(); ad != nil {
+			row.AdaptSwaps = ad.Stats().Swaps
+		}
 	}
 	return row, nil
 }
@@ -248,7 +287,7 @@ func (r *FaultSweepResult) WriteText(w io.Writer) {
 	var rows [][]string
 	flush := func() {
 		if len(rows) > 0 {
-			writeTable(w, []string{"arch", "fault P err", "fault IPS err", "recov P err", "recov IPS err", "sanitized", "fallbacks", "reengaged", "survived"}, rows)
+			writeTable(w, []string{"arch", "fault P err", "fault IPS err", "recov P err", "recov IPS err", "sanitized", "fallbacks", "reengaged", "swaps", "survived"}, rows)
 			rows = nil
 		}
 	}
@@ -271,6 +310,7 @@ func (r *FaultSweepResult) WriteText(w io.Writer) {
 			itoa(row.Sanitized),
 			itoa(row.Fallbacks),
 			itoa(row.Reengagements),
+			itoa(row.AdaptSwaps),
 			survived,
 		})
 	}

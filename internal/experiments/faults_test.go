@@ -3,35 +3,51 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"mimoctl/internal/workloads"
 )
 
 // TestFaultSweep checks the PR's acceptance criteria on the full sweep:
 // the supervised MIMO controller survives every fault class (finite
 // plant state, only legal configurations), re-engages after losing the
 // sensors or the actuators, and recovers tracking to within the paper's
-// 15% power guardband once the fault clears.
+// 15% power guardband once the fault clears — except under plant drift,
+// where the monitored (non-adaptive) supervisor is *supposed* to stay
+// in fallback: its model-health certificate is gone and nothing can
+// restore it. The adaptive architecture is the one that recovers there;
+// its acceptance assertions are at the bottom.
 func TestFaultSweep(t *testing.T) {
-	res, err := FaultSweep(DefaultSeed, 4000)
+	const epochs = 4000
+	const driftClass = "plant-drift"
+	res, err := FaultSweep(DefaultSeed, epochs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	classes := FaultClasses(4000)
-	if want := 4 * len(classes); len(res.Rows) != want {
+	classes := FaultClasses(epochs)
+	if want := 5 * len(classes); len(res.Rows) != want {
 		t.Fatalf("%d rows, want %d", len(res.Rows), want)
 	}
-	const supMIMO = "Supervised(MIMO)"
+	const (
+		supMIMO = "Supervised(MIMO)"
+		adaMIMO = "Adaptive(MIMO)"
+	)
 	for _, fc := range classes {
-		row := res.Row(fc.Name, supMIMO)
-		if row == nil {
-			t.Fatalf("missing %s row for %s", supMIMO, fc.Name)
+		for _, arch := range []string{supMIMO, adaMIMO} {
+			row := res.Row(fc.Name, arch)
+			if row == nil {
+				t.Fatalf("missing %s row for %s", arch, fc.Name)
+			}
+			if row.PlantCorrupt {
+				t.Errorf("%s/%s: plant state went non-finite", fc.Name, arch)
+			}
+			if row.IllegalConfigs != 0 {
+				t.Errorf("%s/%s: %d illegal configs reached the harness", fc.Name, arch, row.IllegalConfigs)
+			}
 		}
-		if row.PlantCorrupt {
-			t.Errorf("%s: plant state went non-finite", fc.Name)
+		if fc.Name == driftClass {
+			continue // asserted separately: permanent fallback is the expected outcome
 		}
-		if row.IllegalConfigs != 0 {
-			t.Errorf("%s: %d illegal configs reached the harness", fc.Name, row.IllegalConfigs)
-		}
-		if row.PowerErrPct > 15 {
+		if row := res.Row(fc.Name, supMIMO); row.PowerErrPct > 15 {
 			t.Errorf("%s: recovery power error %.1f%% exceeds the 15%% band", fc.Name, row.PowerErrPct)
 		}
 	}
@@ -62,9 +78,67 @@ func TestFaultSweep(t *testing.T) {
 			spikeSup.PowerErrPct, spikeRaw.PowerErrPct)
 	}
 
+	// --- Adaptation acceptance: the plant-drift contrast. ---
+	// Nominal baseline: the adaptive architecture on the same workload,
+	// seed, and horizon with no fault injected at all.
+	ada, err := NewAdaptiveSupervised(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workloads.ByName(FaultSweepWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nom, err := runFaulted(ada, w, FaultClass{Name: "none"}, DefaultSeed, epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nom.AdaptSwaps != 0 {
+		t.Errorf("nominal: adapter swapped %d times on a healthy plant", nom.AdaptSwaps)
+	}
+
+	// The non-adaptive monitored supervisor must end the drift run in
+	// permanent fallback: the model-health verdict is frozen at fail and
+	// re-engagement is certificate-gated.
+	drSup := res.Row(driftClass, supMIMO)
+	if drSup.Fallbacks < 1 {
+		t.Error("plant-drift: monitored supervisor never fell back")
+	}
+	if drSup.Reengagements != 0 {
+		t.Errorf("plant-drift: monitored supervisor re-engaged %d times; expected permanent fallback",
+			drSup.Reengagements)
+	}
+	if drSup.FallbackEpochs < epochs/4 {
+		t.Errorf("plant-drift: monitored supervisor spent only %d epochs in fallback; expected a pinned safe state",
+			drSup.FallbackEpochs)
+	}
+	if drSup.PowerErrPct <= 15 {
+		t.Errorf("plant-drift: monitored supervisor recovery power error %.1f%% inside the guardband — "+
+			"the fallback config should not track the drifted plant", drSup.PowerErrPct)
+	}
+
+	// The adaptive supervisor must re-identify, swap, and recover to
+	// within 2x of nominal tracking error on both channels.
+	drAda := res.Row(driftClass, adaMIMO)
+	if drAda.AdaptSwaps < 1 {
+		t.Error("plant-drift: adaptive supervisor never swapped a redesign in")
+	}
+	if drAda.PowerErrPct > 2*nom.PowerErrPct {
+		t.Errorf("plant-drift: adaptive recovery power error %.2f%% exceeds 2x nominal (%.2f%%)",
+			drAda.PowerErrPct, nom.PowerErrPct)
+	}
+	if drAda.IPSErrPct > 2*nom.IPSErrPct {
+		t.Errorf("plant-drift: adaptive recovery IPS error %.2f%% exceeds 2x nominal (%.2f%%)",
+			drAda.IPSErrPct, nom.IPSErrPct)
+	}
+	if drAda.PowerErrPct >= drSup.PowerErrPct {
+		t.Errorf("plant-drift: adaptive recovery power error %.2f%% not better than the pinned fallback's %.2f%%",
+			drAda.PowerErrPct, drSup.PowerErrPct)
+	}
+
 	var sb strings.Builder
 	res.WriteText(&sb)
-	for _, want := range []string{"sensor-dropout", "actuator-delay", supMIMO} {
+	for _, want := range []string{"sensor-dropout", "actuator-delay", supMIMO, adaMIMO} {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("WriteText missing %q", want)
 		}

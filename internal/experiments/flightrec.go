@@ -146,7 +146,7 @@ func FaultClassByName(name string, epochs int) (FaultClass, bool) {
 }
 
 // RecordedArchs are the controller architectures RecordedRun accepts.
-func RecordedArchs() []string { return []string{"mimo", "supervised"} }
+func RecordedArchs() []string { return []string{"mimo", "supervised", "adaptive"} }
 
 // RecordedRun drives one fault scenario with a flight recorder attached
 // and returns the recorder. The loop is the fault sweep's (same seeds,
@@ -178,7 +178,15 @@ func RecordedRun(arch, class string, seed int64, epochs, capacity int) (*flightr
 	case "mimo":
 		ctrl = mimo.Clone()
 	case "supervised":
-		ctrl = supervisor.New(mimo.Clone(), supervisor.Options{})
+		ctrl, err = NewMonitoredSupervised(seed)
+		if err != nil {
+			return nil, err
+		}
+	case "adaptive":
+		ctrl, err = NewAdaptiveSupervised(seed)
+		if err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("experiments: unknown arch %q (want one of %v)", arch, RecordedArchs())
 	}
@@ -215,6 +223,9 @@ func RecordedRun(arch, class string, seed int64, epochs, capacity int) (*flightr
 	}
 	for _, af := range fc.Actuator {
 		inj.AddActuatorFault(af)
+	}
+	for _, pf := range fc.Plant {
+		inj.AddPlantFault(pf)
 	}
 	ctrl.Reset()
 	ctrl.SetTargets(tgtIPS, tgtPow)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"sync/atomic"
 
+	"mimoctl/internal/adapt"
 	"mimoctl/internal/core"
 	"mimoctl/internal/health"
 	"mimoctl/internal/runner"
@@ -33,6 +34,7 @@ func EnableTelemetry(reg *telemetry.Registry) {
 	core.SetTelemetry(reg)
 	supervisor.SetTelemetry(reg)
 	health.SetTelemetry(reg)
+	adapt.SetTelemetry(reg)
 	runner.SetTelemetry(reg)
 	if reg == nil {
 		expTel.Store(nil)

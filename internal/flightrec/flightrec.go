@@ -50,6 +50,19 @@ const (
 	// FlagIllegalConfig marks an inner-controller output that failed
 	// validation and was replaced by the in-effect configuration.
 	FlagIllegalConfig
+	// FlagExcitation marks an epoch whose issued configuration carries
+	// deliberate identification dither from the adaptation loop
+	// (internal/adapt): the knobs were perturbed around the working
+	// point to make the regressor informative.
+	FlagExcitation
+	// FlagAdaptSwap marks the epoch on which the adaptation loop
+	// hot-swapped re-identified controller gains into the inner
+	// controller.
+	FlagAdaptSwap
+	// FlagAdaptRevert marks the epoch on which a hot-swapped design
+	// failed its post-swap probation and the previous gains were
+	// restored.
+	FlagAdaptRevert
 )
 
 // Modes recorded in Record.Mode (mirrors supervisor.Mode; a raw,

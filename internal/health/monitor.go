@@ -75,7 +75,10 @@ type Options struct {
 	// magnitude (default 0.02 ≈ 50-epoch memory).
 	ConsumptionAlpha float64
 	// Whiteness p-value thresholds (defaults: warn below 1e-2, fail
-	// below 1e-4).
+	// below 1e-4). A negative threshold disables that check: a
+	// quantized-actuation loop's innovation is never white even when
+	// healthy (the quantizer injects correlated disturbance), so
+	// deployments on coarse knob grids gate on consumption alone.
 	WhitenessWarn, WhitenessFail float64
 	// Guardband-consumption thresholds (defaults: warn at 0.8, fail at
 	// 1.0 — the observed mismatch has eaten the certified budget).
@@ -120,10 +123,10 @@ func (o Options) withDefaults() Options {
 	if o.ConsumptionAlpha <= 0 || o.ConsumptionAlpha > 1 {
 		o.ConsumptionAlpha = 0.02
 	}
-	if o.WhitenessWarn <= 0 {
+	if o.WhitenessWarn == 0 {
 		o.WhitenessWarn = 1e-2
 	}
-	if o.WhitenessFail <= 0 {
+	if o.WhitenessFail == 0 {
 		o.WhitenessFail = 1e-4
 	}
 	if o.ConsumptionWarn <= 0 {
@@ -289,9 +292,9 @@ func (m *Monitor) evaluateLocked() {
 			level, detail = l, d
 		}
 	}
-	if p < o.WhitenessFail {
+	if o.WhitenessFail > 0 && p < o.WhitenessFail {
 		check(LevelFail, fmt.Sprintf("innovation not white (Ljung-Box p=%.2g)", p))
-	} else if p < o.WhitenessWarn {
+	} else if o.WhitenessWarn > 0 && p < o.WhitenessWarn {
 		check(LevelWarn, fmt.Sprintf("innovation whiteness degraded (Ljung-Box p=%.2g)", p))
 	}
 	if cons >= o.ConsumptionFail {
@@ -334,7 +337,58 @@ func (m *Monitor) snapshotLocked() Snapshot {
 	}
 }
 
+// ObservedMismatch returns the per-channel EMA of the normalized
+// innovation magnitude — the live model/plant mismatch in the same
+// units as the design guardbands. The adaptation loop verifies a
+// re-identified candidate against guardbands inflated to these values:
+// a swap is only trusted when the new design would survive the mismatch
+// actually observed, not just the one assumed at design time. A nil
+// monitor reports zero mismatch.
+func (m *Monitor) ObservedMismatch() (ips, power float64) {
+	if m == nil {
+		return 0, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ema[0], m.ema[1]
+}
+
+// Rebase re-points the margin recompute at a new plant/controller pair
+// and clears every running statistic. The adaptation loop calls it
+// after a hot swap: the ring and EMAs describe the old model's
+// innovations, and left in place they would immediately re-trigger the
+// very drift alarm the swap just resolved. Passing nil models disables
+// the margin recompute.
+func (m *Monitor) Rebase(plant, ctrl *lti.StateSpace) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.opts.Plant, m.opts.Ctrl = plant, ctrl
+	for i := range m.ring[0] {
+		m.ring[0][i] = 0
+		m.ring[1][i] = 0
+	}
+	m.next, m.count = 0, 0
+	m.ema = [2]float64{}
+	m.whiteP = 1
+	m.margin = math.NaN()
+	m.level, m.detail = LevelOK, "model health ok (rebased)"
+}
+
 // Snapshot returns the most recent evaluation.
+// Level returns the current combined verdict without copying the full
+// snapshot — cheap enough for a per-epoch supervisor check.
+func (m *Monitor) Level() Level {
+	if m == nil {
+		return LevelOK
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.level
+}
+
 func (m *Monitor) Snapshot() Snapshot {
 	if m == nil {
 		return Snapshot{WhitenessP: 1, StabilityMargin: math.NaN(), Detail: "no monitor"}

@@ -1,0 +1,212 @@
+package health
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// These tests pin the monitor's behavior exactly at its threshold
+// boundaries and in the small-sample regime — the regimes the
+// adaptation trigger (internal/adapt) lives in. The semantics under
+// test: consumption and margin compare with >= warn / >= fail and
+// < warn / < fail respectively, whiteness compares strictly below its
+// thresholds, and the Ljung–Box test abstains (p = 1) until the window
+// holds at least Lags+2 samples.
+
+// feedConstant pushes n observations of constant magnitude and random
+// sign: the consumption EMA (of |innovation|) converges to exactly the
+// magnitude, while the sign-flipping keeps the series white so the
+// Ljung–Box test stays quiet. (A literally constant series is NOT
+// whiteness-neutral: rounding in the window mean leaves a perfectly
+// autocorrelated residual and p collapses to 0.)
+func feedConstant(m *Monitor, n int, ips, pw float64) {
+	rng := rand.New(rand.NewSource(12345))
+	for i := 0; i < n; i++ {
+		si, sp := 1.0, 1.0
+		if rng.Intn(2) == 0 {
+			si = -1
+		}
+		if rng.Intn(2) == 0 {
+			sp = -1
+		}
+		m.Observe(si*ips, sp*pw)
+	}
+}
+
+func TestConsumptionBoundaryExactWarnIsWarn(t *testing.T) {
+	// scale=1, guardband=1: a constant |innovation| of c converges the
+	// EMA to exactly c, so consumption == c after enough epochs.
+	opts := Options{
+		IPSScale: 1, PowerScale: 1,
+		IPSGuardband: 1, PowerGuardband: 1,
+		ConsumptionWarn: 0.8, ConsumptionFail: 1.5,
+		// Keep the whiteness test out of the picture: a constant series
+		// has zero sample variance, which ljungBoxP treats as untestable.
+		WhitenessWarn: 1e-300, WhitenessFail: 1e-301,
+	}
+	m := NewMonitor(opts)
+	// EMA of a constant converges from below; at the boundary value the
+	// comparison is >=, so reaching (not exceeding) warn must warn. Use
+	// an input slightly above so the EMA crosses 0.8 exactly is not
+	// reachable in finite steps — instead verify the two sides.
+	feedConstant(m, 4096, 0.799, 0.0)
+	if s := m.Snapshot(); s.Level != LevelOK {
+		t.Fatalf("consumption %.4f below warn: level %v (%s)", s.GuardbandConsumption, s.Level, s.Detail)
+	}
+	m2 := NewMonitor(opts)
+	feedConstant(m2, 4096, 0.801, 0.0)
+	if s := m2.Snapshot(); s.Level != LevelWarn {
+		t.Fatalf("consumption %.4f above warn: level %v (%s)", s.GuardbandConsumption, s.Level, s.Detail)
+	}
+	// At fail the verdict escalates.
+	m3 := NewMonitor(opts)
+	feedConstant(m3, 8192, 1.6, 0.0)
+	if s := m3.Snapshot(); s.Level != LevelFail {
+		t.Fatalf("consumption %.4f above fail: level %v (%s)", s.GuardbandConsumption, s.Level, s.Detail)
+	}
+}
+
+func TestConsumptionWorstChannelWins(t *testing.T) {
+	opts := Options{
+		IPSScale: 1, PowerScale: 1,
+		IPSGuardband: 1, PowerGuardband: 0.5,
+		WhitenessWarn: 1e-300, WhitenessFail: 1e-301,
+	}
+	m := NewMonitor(opts)
+	// Power channel consumes 0.3/0.5 = 0.6; IPS only 0.1.
+	feedConstant(m, 4096, 0.1, 0.3)
+	s := m.Snapshot()
+	if math.Abs(s.GuardbandConsumption-0.6) > 0.01 {
+		t.Fatalf("consumption = %.4f, want ~0.6 (worst channel)", s.GuardbandConsumption)
+	}
+}
+
+func TestWhitenessSmallSampleAbstains(t *testing.T) {
+	// Below Lags+2 samples the Ljung–Box test must report p = 1 (no
+	// verdict), not a spurious alarm: with EvalEvery=1 every observation
+	// evaluates, so an early alarm would surface immediately.
+	opts := Options{
+		Window: 64, Lags: 8, EvalEvery: 1,
+		IPSScale: 1, PowerScale: 1,
+		IPSGuardband: 1e9, PowerGuardband: 1e9, // consumption out of the picture
+	}
+	m := NewMonitor(opts)
+	// A maximally autocorrelated (alternating) sequence — but only 9
+	// samples, one short of Lags+2.
+	for i := 0; i < 9; i++ {
+		v := 1.0
+		if i%2 == 1 {
+			v = -1.0
+		}
+		m.Observe(v, v)
+	}
+	if s := m.Snapshot(); s.WhitenessP != 1 || s.Level != LevelOK {
+		t.Fatalf("small sample: p=%v level=%v, want abstention (p=1, ok)", s.WhitenessP, s.Level)
+	}
+	// One more sample reaches Lags+2 = 10: the alternating pattern is
+	// now testable and must produce a small p.
+	m.Observe(-1, -1)
+	if s := m.Snapshot(); s.WhitenessP >= 0.05 {
+		t.Fatalf("at Lags+2 samples the alternating series should test non-white, p=%v", s.WhitenessP)
+	}
+}
+
+func TestLjungBoxSmallSampleEdges(t *testing.T) {
+	// Direct small-sample behavior of the statistic itself (degenerate
+	// long inputs are covered in chisq_test.go).
+	if p := ljungBoxP(nil, 8); p != 1 {
+		t.Fatalf("nil series: p=%v", p)
+	}
+	if p := ljungBoxP([]float64{5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5}, 4); p != 1 {
+		t.Fatalf("zero-variance just-long-enough series: p=%v", p)
+	}
+	if p := ljungBoxP([]float64{0, 0}, 0); p != 1 {
+		t.Fatalf("zero lags: p=%v", p)
+	}
+	// White noise at a just-testable length stays comfortably untripped
+	// most of the time; use a fixed seed so this is deterministic.
+	rng := rand.New(rand.NewSource(99))
+	xs := make([]float64, 10)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	if p := ljungBoxP(xs, 8); p <= 0 || p > 1 {
+		t.Fatalf("white series p out of range: %v", p)
+	}
+}
+
+func TestWhitenessBoundaryStrictlyBelow(t *testing.T) {
+	// The whiteness ladder fires strictly below its thresholds: p equal
+	// to the warn threshold must stay OK. Engineer p == threshold by
+	// setting the threshold to the p the data actually produces.
+	opts := Options{
+		Window: 64, Lags: 4, EvalEvery: 1,
+		IPSScale: 1, PowerScale: 1,
+		IPSGuardband: 1e9, PowerGuardband: 1e9,
+	}
+	probe := NewMonitor(opts)
+	rng := rand.New(rand.NewSource(7))
+	var xs []float64
+	for i := 0; i < 32; i++ {
+		xs = append(xs, rng.NormFloat64())
+	}
+	for _, v := range xs {
+		probe.Observe(v, v)
+	}
+	p := probe.Snapshot().WhitenessP
+	if p <= 0 || p >= 1 {
+		t.Skipf("probe p=%v not usable as a boundary", p)
+	}
+	at := opts
+	at.WhitenessWarn = p // p < warn is false when equal
+	at.WhitenessFail = p / 10
+	m := NewMonitor(at)
+	for _, v := range xs {
+		m.Observe(v, v)
+	}
+	if s := m.Snapshot(); s.Level != LevelOK {
+		t.Fatalf("p == warn threshold must stay ok, got %v (%s)", s.Level, s.Detail)
+	}
+	above := opts
+	above.WhitenessWarn = math.Nextafter(p, 2) // p strictly below warn
+	above.WhitenessFail = p / 10
+	m2 := NewMonitor(above)
+	for _, v := range xs {
+		m2.Observe(v, v)
+	}
+	if s := m2.Snapshot(); s.Level != LevelWarn {
+		t.Fatalf("p just below warn threshold must warn, got %v (%s)", s.Level, s.Detail)
+	}
+}
+
+func TestRebaseClearsStatistics(t *testing.T) {
+	opts := Options{
+		IPSScale: 1, PowerScale: 1,
+		IPSGuardband: 0.5, PowerGuardband: 0.5,
+		EvalEvery: 1,
+	}
+	m := NewMonitor(opts)
+	feedConstant(m, 2048, 2.0, 2.0) // deep into fail
+	if s := m.Snapshot(); s.Level != LevelFail {
+		t.Fatalf("setup: level %v, want fail", s.Level)
+	}
+	ips, pw := m.ObservedMismatch()
+	if ips < 1.9 || pw < 1.9 {
+		t.Fatalf("ObservedMismatch = %v, %v, want ~2", ips, pw)
+	}
+	m.Rebase(nil, nil)
+	s := m.Snapshot()
+	if s.Level != LevelOK || s.GuardbandConsumption != 0 || s.WhitenessP != 1 {
+		t.Fatalf("rebase did not clear: %+v", s)
+	}
+	if ips, pw := m.ObservedMismatch(); ips != 0 || pw != 0 {
+		t.Fatalf("rebase left mismatch %v, %v", ips, pw)
+	}
+	// And a nil monitor stays inert.
+	var nilMon *Monitor
+	nilMon.Rebase(nil, nil)
+	if ips, pw := nilMon.ObservedMismatch(); ips != 0 || pw != 0 {
+		t.Fatal("nil monitor mismatch not zero")
+	}
+}

@@ -144,6 +144,64 @@ type ActuatorFault struct {
 	DelayEpochs int
 }
 
+// PlantFaultKind enumerates slow physical degradations of the plant
+// itself — not of its sensors. A drifting plant still reports honest
+// telemetry; what changes is the true input/output behavior the
+// identified model no longer describes. This is the failure mode the
+// adaptation loop (internal/adapt) exists for: sensor faults call for
+// sanitization and fallback, plant drift calls for re-identification.
+type PlantFaultKind int
+
+const (
+	// PlantGainDrift multiplies the true outputs by per-channel gains
+	// that ramp from 1 toward GainLimitIPS/GainLimitPower at
+	// GainRateIPS/GainRatePower per epoch — aging silicon, a degrading
+	// voltage regulator, progressive thermal derating. The drift
+	// persists after the window closes: physical aging does not heal.
+	PlantGainDrift PlantFaultKind = iota
+	// PlantLagDrift blends each true output with its own lagged value
+	// through a first-order filter whose pole ramps from 0 toward
+	// PoleLimit at PoleRate per epoch: the plant's response slows down,
+	// a dynamics change no static gain correction can absorb.
+	PlantLagDrift
+)
+
+// String names the fault kind for reports.
+func (k PlantFaultKind) String() string {
+	switch k {
+	case PlantGainDrift:
+		return "gain-drift"
+	case PlantLagDrift:
+		return "lag-drift"
+	}
+	return fmt.Sprintf("plant(%d)", int(k))
+}
+
+// PlantFault describes one plant degradation scenario. The drift
+// advances on epochs From <= k < Until and the accumulated degradation
+// keeps applying forever after (Until only bounds how far it progresses,
+// not how long it lasts). Probabilistic gating makes no sense for a
+// physical aging process, so there are no Every/Prob fields.
+type PlantFault struct {
+	Kind        PlantFaultKind
+	From, Until int
+	// Gain drift: per-epoch additive change of the multiplicative gain,
+	// clamped at the limit (e.g. Rate 1e-4 toward Limit 0.65). A limit
+	// of 0 means "no drift on this channel" and is replaced by 1.
+	GainRateIPS, GainLimitIPS     float64
+	GainRatePower, GainLimitPower float64
+	// Lag drift: per-epoch pole increment and terminal pole in (0, 1).
+	PoleRate, PoleLimit float64
+}
+
+// plantState is the per-fault accumulated degradation.
+type plantState struct {
+	gain    [2]float64 // multiplicative output gains, start at 1
+	pole    float64    // first-order lag pole, starts at 0
+	lag     [2]float64 // lag filter state (true-output coordinates)
+	lagInit bool
+}
+
 // ActuatorError is the error returned by FaultInjector.Apply when an
 // ActError fault fires, so callers can distinguish injected transients
 // from genuine configuration errors.
@@ -166,6 +224,9 @@ type FaultCounts struct {
 	StuckWrites int
 	// DelayedApplies counts configurations deferred by ActDelay.
 	DelayedApplies int
+	// PlantDriftEpochs counts epochs on which a plant fault advanced its
+	// degradation (not epochs it merely kept applying).
+	PlantDriftEpochs int
 }
 
 // FaultInjector wraps a Processor with a scripted/stochastic fault
@@ -179,6 +240,7 @@ type FaultInjector struct {
 	rng    *rand.Rand
 	sensor []SensorFault
 	act    []ActuatorFault
+	plant  []PlantFault
 
 	epoch  int
 	counts FaultCounts
@@ -187,6 +249,9 @@ type FaultInjector struct {
 	frozen    []([2]float64) // captured readings per freeze fault
 	hasFrozen []bool
 	drift     [][2]float64 // accumulated bias per drift fault
+
+	// Per-fault plant degradation state, indexed like plant.
+	plantSt []plantState
 
 	// Delayed actuations not yet landed.
 	pending []delayedApply
@@ -223,6 +288,21 @@ func (f *FaultInjector) AddActuatorFault(af ActuatorFault) *FaultInjector {
 		af.DelayEpochs = 1
 	}
 	f.act = append(f.act, af)
+	return f
+}
+
+// AddPlantFault arms a plant degradation scenario and returns the
+// injector for chaining. Zero gain limits mean "this channel does not
+// drift" and are replaced by 1.
+func (f *FaultInjector) AddPlantFault(pf PlantFault) *FaultInjector {
+	if pf.GainLimitIPS == 0 {
+		pf.GainLimitIPS = 1
+	}
+	if pf.GainLimitPower == 0 {
+		pf.GainLimitPower = 1
+	}
+	f.plant = append(f.plant, pf)
+	f.plantSt = append(f.plantSt, plantState{gain: [2]float64{1, 1}})
 	return f
 }
 
@@ -290,9 +370,12 @@ func (f *FaultInjector) Apply(cfg Config) error {
 	return f.proc.Apply(cfg)
 }
 
-// Step lands any due delayed actuations, steps the plant one epoch, and
-// corrupts the measured outputs per the armed sensor faults. True
-// (noiseless) outputs are never touched: evaluation stays honest.
+// Step lands any due delayed actuations, steps the plant one epoch,
+// applies any armed plant degradation, and corrupts the measured
+// outputs per the armed sensor faults. Sensor faults never touch the
+// true (noiseless) outputs — evaluation stays honest — but plant
+// faults legitimately change them: a drifted plant really does perform
+// differently, and scoring must see that.
 func (f *FaultInjector) Step() Telemetry {
 	// Land delayed configurations whose latency has elapsed.
 	kept := f.pending[:0]
@@ -306,6 +389,9 @@ func (f *FaultInjector) Step() Telemetry {
 	f.pending = kept
 
 	t := f.proc.Step()
+	for i := range f.plant {
+		f.applyPlantFault(i, &t)
+	}
 	for i := range f.sensor {
 		sf := &f.sensor[i]
 		if !f.active(sf.From, sf.Until, sf.Every, sf.Prob, f.epoch) {
@@ -315,6 +401,66 @@ func (f *FaultInjector) Step() Telemetry {
 	}
 	f.epoch++
 	return t
+}
+
+// applyPlantFault advances (inside the window) and applies (from From
+// onward, forever) plant degradation i. The measured channels move with
+// the true ones: the sensors honestly report the drifted plant.
+func (f *FaultInjector) applyPlantFault(i int, t *Telemetry) {
+	pf := &f.plant[i]
+	st := &f.plantSt[i]
+	if f.epoch < pf.From {
+		return
+	}
+	if pf.Until <= 0 || f.epoch < pf.Until {
+		// Advance the degradation.
+		st.gain[0] = approach(st.gain[0], pf.GainLimitIPS, pf.GainRateIPS)
+		st.gain[1] = approach(st.gain[1], pf.GainLimitPower, pf.GainRatePower)
+		st.pole = approach(st.pole, pf.PoleLimit, pf.PoleRate)
+		f.counts.PlantDriftEpochs++
+	}
+	switch pf.Kind {
+	case PlantGainDrift:
+		// The processor's sensor noise is multiplicative, so scaling the
+		// measured channels by the same gains preserves the noise model.
+		t.TrueIPS *= st.gain[0]
+		t.IPS *= st.gain[0]
+		t.TruePowerW *= st.gain[1]
+		t.PowerW *= st.gain[1]
+	case PlantLagDrift:
+		if !st.lagInit {
+			st.lag = [2]float64{t.TrueIPS, t.TruePowerW}
+			st.lagInit = true
+		}
+		a := st.pole
+		noiseIPS := t.IPS - t.TrueIPS
+		noisePow := t.PowerW - t.TruePowerW
+		t.TrueIPS = (1-a)*t.TrueIPS + a*st.lag[0]
+		t.TruePowerW = (1-a)*t.TruePowerW + a*st.lag[1]
+		st.lag = [2]float64{t.TrueIPS, t.TruePowerW}
+		t.IPS = t.TrueIPS + noiseIPS
+		t.PowerW = t.TruePowerW + noisePow
+	}
+}
+
+// approach moves cur toward limit by at most rate (rate's sign is
+// ignored; the direction comes from where the limit lies).
+func approach(cur, limit, rate float64) float64 {
+	if rate < 0 {
+		rate = -rate
+	}
+	if cur < limit {
+		cur += rate
+		if cur > limit {
+			cur = limit
+		}
+	} else if cur > limit {
+		cur -= rate
+		if cur < limit {
+			cur = limit
+		}
+	}
+	return cur
 }
 
 // corrupt applies one firing of sensor fault i to the telemetry.

@@ -230,3 +230,92 @@ func TestFaultInjectorDelayedActuation(t *testing.T) {
 		t.Fatalf("delayed applies %d", inj.Counts().DelayedApplies)
 	}
 }
+
+func TestPlantGainDriftRampsAndPersists(t *testing.T) {
+	clean := NewFaultInjector(faultTestProc(t), 1)
+	inj := NewFaultInjector(faultTestProc(t), 1).AddPlantFault(PlantFault{
+		Kind: PlantGainDrift,
+		From: 10, Until: 20,
+		GainRateIPS: 0.02, GainLimitIPS: 0.7,
+		GainRatePower: 0.05, GainLimitPower: 1.3,
+	})
+	var cleanTel, tel Telemetry
+	for k := 0; k < 9; k++ {
+		cleanTel = clean.Step()
+		tel = inj.Step()
+	}
+	// Before the window: untouched.
+	if tel.TrueIPS != cleanTel.TrueIPS || tel.TruePowerW != cleanTel.TruePowerW {
+		t.Fatal("plant fault fired before its window")
+	}
+	for k := 9; k < 40; k++ {
+		cleanTel = clean.Step()
+		tel = inj.Step()
+	}
+	// Long after the window closed: the degradation persists at the
+	// accumulated gain (10 epochs of ramp: IPS 1-10*0.02=0.8, power
+	// clamped at the 1.3 limit).
+	if r := tel.TrueIPS / cleanTel.TrueIPS; math.Abs(r-0.8) > 1e-9 {
+		t.Fatalf("IPS gain after window = %v, want 0.8", r)
+	}
+	if r := tel.TruePowerW / cleanTel.TruePowerW; math.Abs(r-1.3) > 1e-9 {
+		t.Fatalf("power gain after window = %v, want clamp at 1.3", r)
+	}
+	// Measured channels move with the true ones (deterministic plant:
+	// they are equal).
+	if tel.IPS != tel.TrueIPS || tel.PowerW != tel.TruePowerW {
+		t.Fatal("measured channels did not follow the drifted plant")
+	}
+	if inj.Counts().PlantDriftEpochs != 10 {
+		t.Fatalf("PlantDriftEpochs = %d, want 10", inj.Counts().PlantDriftEpochs)
+	}
+}
+
+func TestPlantLagDriftSlowsResponse(t *testing.T) {
+	step := func(lagged bool) []float64 {
+		inj := NewFaultInjector(faultTestProc(t), 1)
+		if lagged {
+			inj.AddPlantFault(PlantFault{Kind: PlantLagDrift, From: 0, Until: 1, PoleRate: 1, PoleLimit: 0.9})
+		}
+		for k := 0; k < 50; k++ {
+			inj.Step()
+		}
+		// Step change in frequency; record the response.
+		cfg := inj.Processor().Config()
+		cfg.FreqIdx = 15
+		if err := inj.Apply(cfg); err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for k := 0; k < 10; k++ {
+			out = append(out, inj.Step().TrueIPS)
+		}
+		return out
+	}
+	base := step(false)
+	lag := step(true)
+	// The lagged plant must respond more slowly to the same actuation.
+	if lag[1] >= base[1] {
+		t.Fatalf("lagged first response %v not below nominal %v", lag[1], base[1])
+	}
+	// And the drift persists after its one-epoch window: the pole stays.
+	if lag[9] >= base[9]*0.999 && lag[9] <= base[9]*1.001 {
+		// With pole 0.9 the lagged output is still converging at epoch 9.
+		t.Logf("note: lagged output already converged: %v vs %v", lag[9], base[9])
+	}
+}
+
+func TestApproach(t *testing.T) {
+	if got := approach(1, 0.5, 0.2); got != 0.8 {
+		t.Fatalf("approach down = %v", got)
+	}
+	if got := approach(0.6, 0.5, 0.2); got != 0.5 {
+		t.Fatalf("approach clamp = %v", got)
+	}
+	if got := approach(1, 1.5, -0.2); got != 1.2 {
+		t.Fatalf("approach up with negative rate = %v", got)
+	}
+	if got := approach(0.5, 0.5, 0.2); got != 0.5 {
+		t.Fatalf("approach at limit = %v", got)
+	}
+}

@@ -27,12 +27,13 @@ type supMetrics struct {
 	sanitizedIPS   telemetry.Counter
 	sanitizedPower telemetry.Counter
 
-	deadSensorEpochs telemetry.Counter
-	innovationAlarms telemetry.Counter
-	divergenceAlarms telemetry.Counter
-	illegalConfigs   telemetry.Counter
-	applyFailures    telemetry.Counter
-	applyRetries     telemetry.Counter
+	deadSensorEpochs  telemetry.Counter
+	innovationAlarms  telemetry.Counter
+	divergenceAlarms  telemetry.Counter
+	modelHealthAlarms telemetry.Counter
+	illegalConfigs    telemetry.Counter
+	applyFailures     telemetry.Counter
+	applyRetries      telemetry.Counter
 }
 
 var supTel atomic.Pointer[supMetrics]
@@ -60,12 +61,13 @@ func SetTelemetry(reg *telemetry.Registry) {
 		sanitizedIPS:   reg.Counter("supervisor_sanitized_total", "substituted sensor samples", telemetry.L("channel", "ips")),
 		sanitizedPower: reg.Counter("supervisor_sanitized_total", "substituted sensor samples", telemetry.L("channel", "power")),
 
-		deadSensorEpochs: reg.Counter("supervisor_dead_sensor_epochs_total", "epochs with a channel past its staleness limit"),
-		innovationAlarms: reg.Counter("supervisor_innovation_alarms_total", "model-health alarms from the Kalman innovation"),
-		divergenceAlarms: reg.Counter("supervisor_divergence_alarms_total", "model-health alarms from the tracking-error trend"),
-		illegalConfigs:   reg.Counter("supervisor_illegal_configs_total", "inner-controller outputs that failed validation"),
-		applyFailures:    reg.Counter("supervisor_apply_failures_total", "failed Apply attempts reported by the harness"),
-		applyRetries:     reg.Counter("supervisor_apply_retries_total", "re-issued actuation requests"),
+		deadSensorEpochs:  reg.Counter("supervisor_dead_sensor_epochs_total", "epochs with a channel past its staleness limit"),
+		innovationAlarms:  reg.Counter("supervisor_innovation_alarms_total", "model-health alarms from the Kalman innovation"),
+		divergenceAlarms:  reg.Counter("supervisor_divergence_alarms_total", "model-health alarms from the tracking-error trend"),
+		modelHealthAlarms: reg.Counter("supervisor_model_health_alarms_total", "epochs sick on the model-health monitor's fail verdict"),
+		illegalConfigs:    reg.Counter("supervisor_illegal_configs_total", "inner-controller outputs that failed validation"),
+		applyFailures:     reg.Counter("supervisor_apply_failures_total", "failed Apply attempts reported by the harness"),
+		applyRetries:      reg.Counter("supervisor_apply_retries_total", "re-issued actuation requests"),
 	}
 	supTel.Store(m)
 }

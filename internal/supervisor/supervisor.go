@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"math"
 
+	"mimoctl/internal/adapt"
 	"mimoctl/internal/core"
 	"mimoctl/internal/flightrec"
 	"mimoctl/internal/health"
@@ -144,8 +145,20 @@ type Options struct {
 	// ModelHealth, when set, receives every engaged epoch's Kalman
 	// innovation (internal/health): the streaming whiteness test,
 	// guardband-consumption gauge, and stability-margin recompute run
-	// there and surface through Healthz and the telemetry registry.
+	// there and surface through Healthz and the telemetry registry. The
+	// monitor is also load-bearing for safety: its fail verdict counts
+	// as a sick epoch (fallback after FallbackAfter), and re-engagement
+	// is refused while the verdict stands — a loop whose certificate is
+	// void must not be re-armed by clean telemetry alone.
 	ModelHealth *health.Monitor
+
+	// Adapter, when set, closes the adaptation loop (internal/adapt):
+	// every epoch's sanitized telemetry and issued configuration feed
+	// its streaming re-identifier, a model-shaped fallback arms its
+	// drift trigger, and an accepted redesign is hot-swapped into the
+	// inner controller mid-run. The supervisor remains in charge of all
+	// safety machinery; a nil Adapter (the default) changes nothing.
+	Adapter *adapt.Adapter
 }
 
 func (o Options) withDefaults() Options {
@@ -213,6 +226,9 @@ type Health struct {
 	// InnovationAlarms / DivergenceAlarms count model-health alarm
 	// epochs.
 	InnovationAlarms, DivergenceAlarms int
+	// ModelHealthAlarms counts epochs sick on the attached model-health
+	// monitor's fail verdict (guardband exhausted / certificate lost).
+	ModelHealthAlarms int
 	// IllegalConfigs counts inner-controller outputs that failed
 	// validation and were replaced by the current plant configuration.
 	IllegalConfigs int
@@ -270,20 +286,33 @@ type Supervised struct {
 	rec          *flightrec.Recorder
 	innerRecords bool
 	innovScratch [2]float64
+
+	// Adaptation (nil when Options.Adapter was not set).
+	adapter *adapt.Adapter
 }
 
 // New wraps the inner controller. The inner controller's current
 // targets become the supervisor's.
 func New(inner core.ArchController, opts Options) *Supervised {
-	s := &Supervised{inner: inner, opts: opts.withDefaults(), applyOK: true}
+	s := &Supervised{inner: inner, opts: opts.withDefaults(), applyOK: true, adapter: opts.Adapter}
 	s.ipsTarget, s.powerTarget = inner.Targets()
 	s.grace = s.opts.GraceEpochs
 	markMode(supTel.Load(), ModeEngaged)
 	return s
 }
 
-// Name implements core.ArchController.
-func (s *Supervised) Name() string { return "Supervised(" + s.inner.Name() + ")" }
+// Name implements core.ArchController. A supervisor that carries an
+// adaptation loop reports as Adaptive: the closed loop's behavior under
+// drift is qualitatively different.
+func (s *Supervised) Name() string {
+	if s.adapter != nil {
+		return "Adaptive(" + s.inner.Name() + ")"
+	}
+	return "Supervised(" + s.inner.Name() + ")"
+}
+
+// Adapter exposes the attached adaptation loop (nil when none).
+func (s *Supervised) Adapter() *adapt.Adapter { return s.adapter }
 
 // Inner exposes the wrapped controller.
 func (s *Supervised) Inner() core.ArchController { return s.inner }
@@ -419,21 +448,45 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 		} else {
 			s.healthyStreak = 0
 		}
-		if s.fallbackEpochs >= s.opts.MinFallbackEpochs && s.healthyStreak >= s.opts.ReengageAfter {
+		if s.fallbackEpochs >= s.opts.MinFallbackEpochs && s.healthyStreak >= s.opts.ReengageAfter &&
+			s.modelCertOK() {
 			s.reengage()
 		}
-		s.recordEpoch(t, s.opts.Safe, flags|flightrec.FlagFallback, flightrec.ModeFallback)
-		return s.opts.Safe
+		cfg := s.opts.Safe
+		if s.adapter != nil {
+			// The adaptation loop keeps running while pinned: dither
+			// around the safe configuration is open-loop identification
+			// data, and an accepted swap hands control straight back —
+			// the pinned loop has nothing to settle.
+			v := s.adapter.Advance(t, cfg, clean && s.applyOK)
+			cfg = v.Cfg
+			flags |= v.Flags
+			if v.Swapped {
+				s.rec.RequestDump("adapt-swap")
+				if s.mode == ModeFallback {
+					s.reengage()
+				}
+			} else if v.Reverted {
+				// A probation revert while pinned: the monitor was rebased
+				// onto the restored design, so the normal healthy-streak
+				// hysteresis decides when to re-engage it.
+				s.rec.RequestDump("adapt-revert")
+			}
+		}
+		s.recordEpoch(t, cfg, flags|flightrec.FlagFallback, flightrec.ModeFallback)
+		return cfg
 	}
 
 	// Engaged: dead-channel and model-health checks.
 	sick := false
+	dead := false
 	if s.staleIPS > s.opts.MaxStaleEpochs || s.stalePower > s.opts.MaxStaleEpochs {
 		s.health.DeadSensorEpochs++
 		if m != nil {
 			m.deadSensorEpochs.Inc()
 		}
 		sick = true
+		dead = true
 	}
 	if s.grace > 0 {
 		s.grace--
@@ -459,6 +512,20 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 			}
 			sick = true
 		}
+		// The model-health monitor's verdict is a supervisor alarm in its
+		// own right: a fail level means the observed mismatch has exhausted
+		// the certified guardband, so the loop's stability certificate no
+		// longer covers the plant it is actually driving — engaged control
+		// on a voided certificate is exactly what the safe state exists to
+		// prevent. (The monitor sees the previous epoch's innovation; the
+		// one-epoch skew is irrelevant at FallbackAfter's timescale.)
+		if s.opts.ModelHealth.Level() == health.LevelFail {
+			s.health.ModelHealthAlarms++
+			if m != nil {
+				m.modelHealthAlarms.Inc()
+			}
+			sick = true
+		}
 	}
 	if sick {
 		s.sickStreak++
@@ -467,6 +534,15 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 	}
 	if s.sickStreak >= s.opts.FallbackAfter {
 		s.enterFallback()
+		if s.adapter != nil {
+			// A fallback forced by model-health alarms on live sensors is
+			// the drift signature; a dead channel is not a modeling
+			// problem and must not trigger re-identification.
+			if !dead {
+				s.adapter.NoteModelFallback()
+			}
+			s.adapter.NoteGap()
+		}
 		s.recordEpoch(t, s.opts.Safe, flags|flightrec.FlagFallback, flightrec.ModeFallback)
 		return s.opts.Safe
 	}
@@ -475,6 +551,9 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 	// Apply, hold the plant's current configuration for the backoff
 	// interval, then re-issue the last request.
 	if !s.applyOK && s.haveRequested {
+		// Held/re-issued epochs break the adapter's (u, y) pairing: its
+		// estimator must restart its lag history.
+		s.adapter.NoteGap()
 		if s.holdEpochs > 0 {
 			s.holdEpochs--
 			s.recordEpoch(t, t.Config, flags|flightrec.FlagHold, flightrec.ModeEngaged)
@@ -512,17 +591,41 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 		cfg = t.Config
 		illegal = true
 	}
+	var adaptFlags uint32
+	if s.adapter != nil {
+		v := s.adapter.Advance(t, cfg, clean && s.applyOK)
+		cfg = v.Cfg
+		adaptFlags = v.Flags
+		if v.Swapped || v.Reverted {
+			// Fresh gains (or restored ones) produce a deliberate
+			// transient: restart the alarm grace period and forget
+			// loop-shape statistics learned under the outgoing design,
+			// exactly as on re-engagement.
+			s.grace = s.opts.GraceEpochs
+			s.emaInnov, s.emaErr = 0, 0
+			s.sickStreak = 0
+			if v.Swapped {
+				s.rec.RequestDump("adapt-swap")
+			} else {
+				s.rec.RequestDump("adapt-revert")
+			}
+		}
+	}
 	if s.innerRecords {
 		if illegal {
 			// The inner's record for this epoch is already written; the
 			// flag rides on the next one (one-epoch smear, still visible).
 			s.rec.StageFlags(flightrec.FlagIllegalConfig)
 		}
+		if adaptFlags != 0 {
+			// Same one-epoch smear for excitation/swap evidence.
+			s.rec.StageFlags(adaptFlags)
+		}
 	} else {
 		if illegal {
 			flags |= flightrec.FlagIllegalConfig
 		}
-		s.recordEpoch(t, cfg, flags, flightrec.ModeEngaged)
+		s.recordEpoch(t, cfg, flags|adaptFlags, flightrec.ModeEngaged)
 	}
 	s.lastRequested = cfg
 	s.haveRequested = true
@@ -533,6 +636,18 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 // InnovationReporter (core.MIMOController implements both).
 type innovationIntoReporter interface {
 	LastInnovationInto([]float64) []float64
+}
+
+// modelCertOK reports whether the model-health monitor permits
+// re-engagement. In fallback the inner controller does not step, so the
+// monitor receives no innovations and its last verdict is frozen: a
+// fallback entered on a model-health fail therefore stays pinned until
+// something restores the certificate. With an adapter attached that is
+// an accepted redesign (the swap rebases the monitor and re-engages);
+// without one the pin is permanent — the pre-adaptation behavior of a
+// drifted plant.
+func (s *Supervised) modelCertOK() bool {
+	return s.opts.ModelHealth.Level() != health.LevelFail
 }
 
 // observeModelHealth streams the freshly stepped inner controller's

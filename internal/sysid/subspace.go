@@ -81,8 +81,11 @@ func FitSubspace(d *Data, opts SubspaceOptions) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(svd.S) < n || svd.S[n-1] <= 0 {
-		return nil, errors.New("sysid: data does not support the requested order")
+	if len(svd.S) < n || svd.S[n-1] <= 0 || svd.S[n-1] < svd.S[0]*excitationCondTol {
+		// The observability subspace is not excited down to the requested
+		// order: either the record is feedback-dominated (closed-loop
+		// collapse) or the true plant is simpler than asked for.
+		return nil, fmt.Errorf("sysid: data does not support order %d: %w", n, ErrInsufficientExcitation)
 	}
 	// Γ_i = U1 * S1^(1/2).
 	gamma := mat.New(i*l, n)

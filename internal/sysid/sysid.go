@@ -9,10 +9,51 @@ package sysid
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"mimoctl/internal/lti"
 	"mimoctl/internal/mat"
 )
+
+// ErrInsufficientExcitation reports that an identification record does
+// not excite the plant richly enough to determine the requested model:
+// the regression matrix is rank-deficient (or numerically close to it).
+// This is the expected failure mode of closed-loop windows — a
+// well-regulated plant sits at one operating point, so the regressor
+// columns collapse — and callers (the online re-identification loop in
+// internal/adapt) branch on it to request dither rather than accept a
+// silently bad fit.
+var ErrInsufficientExcitation = errors.New("sysid: insufficient excitation (rank-deficient regressor)")
+
+// excitationCondTol is the relative threshold on the QR R-diagonal
+// below which a regressor column is considered unexcited. It is looser
+// than mat.(*QR).FullRank's 1e-12 machine-rank test on purpose: a
+// column that is six orders of magnitude weaker than its peers is
+// numerically present but statistically meaningless, and a fit through
+// it amplifies noise into the coefficients.
+const excitationCondTol = 1e-9
+
+// checkExcitation returns ErrInsufficientExcitation when the R factor of
+// the regression QR has a (relatively) negligible diagonal entry.
+func checkExcitation(f *mat.QR) error {
+	if !f.FullRank() {
+		return ErrInsufficientExcitation
+	}
+	r := f.R()
+	n := r.Rows()
+	var mx float64
+	for i := 0; i < n; i++ {
+		if a := math.Abs(r.At(i, i)); a > mx {
+			mx = a
+		}
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(r.At(i, i)) < mx*excitationCondTol {
+			return ErrInsufficientExcitation
+		}
+	}
+	return nil
+}
 
 // Data holds a sampled input/output record: U is T x I, Y is T x O, and
 // Ts is the sample period.
@@ -210,7 +251,19 @@ func FitARX(d *Data, ord ARXOrders) (*Model, error) {
 		}
 		copy(tgt.RowView(k), det.Y.RowView(tt))
 	}
-	theta, err := mat.LeastSquares(phi, tgt)
+	// Solve the regression explicitly through QR so rank deficiency is a
+	// typed error instead of mat.LeastSquares' silent pseudo-inverse
+	// fallback (which happily returns the minimum-norm fit of an
+	// unexcited record). On well-conditioned data this is the exact code
+	// path LeastSquares takes, so the numbers are bit-identical.
+	f, err := mat.FactorQR(phi)
+	if err != nil {
+		return nil, fmt.Errorf("sysid: ARX regression: %w", err)
+	}
+	if err := checkExcitation(f); err != nil {
+		return nil, fmt.Errorf("sysid: ARX regression over %d samples: %w", rows, err)
+	}
+	theta, err := f.Solve(tgt)
 	if err != nil {
 		return nil, fmt.Errorf("sysid: ARX regression: %w", err)
 	}
@@ -310,6 +363,53 @@ func realizeARX(aBlocks, bBlocks []*mat.Matrix, b0 *mat.Matrix, p, ny, nu int, t
 		return nil, nil, err
 	}
 	return ss, kGain, nil
+}
+
+// ModelFromBlocks realizes a Model from externally estimated ARX
+// coefficient blocks — the entry point for estimators that do not run
+// the batch regression in FitARX, such as the recursive least-squares
+// tracker in internal/adapt. off is the operating point the blocks
+// describe deviations around; v is the measurement-noise covariance
+// (O x O) estimated alongside the coefficients. b0 may be nil for
+// models without direct feed-through.
+func ModelFromBlocks(aBlocks, bBlocks []*mat.Matrix, b0 *mat.Matrix, off Offsets, v *mat.Matrix, ts float64) (*Model, error) {
+	if len(aBlocks) == 0 {
+		return nil, errors.New("sysid: ModelFromBlocks requires at least one A block")
+	}
+	ny := aBlocks[0].Rows()
+	nu := 0
+	if len(bBlocks) > 0 {
+		nu = bBlocks[0].Cols()
+	} else if b0 != nil {
+		nu = b0.Cols()
+	}
+	if nu == 0 {
+		return nil, errors.New("sysid: ModelFromBlocks requires input blocks (BBlocks or B0)")
+	}
+	ord := ARXOrders{NA: len(aBlocks), NB: len(bBlocks), Direct: b0 != nil}
+	if err := ord.Validate(); err != nil {
+		return nil, err
+	}
+	if b0 == nil {
+		b0 = mat.New(ny, nu)
+	}
+	if v == nil || v.Rows() != ny || v.Cols() != ny {
+		return nil, errors.New("sysid: ModelFromBlocks requires an O x O noise covariance")
+	}
+	p := ord.NA
+	if ord.NB > p {
+		p = ord.NB
+	}
+	ss, kGain, err := realizeARX(aBlocks, bBlocks, b0, p, ny, nu, ts)
+	if err != nil {
+		return nil, err
+	}
+	w := mat.Symmetrize(mat.MulChain(kGain, v, kGain.T()))
+	return &Model{
+		SS: ss, Off: off, Orders: ord,
+		ABlocks: aBlocks, BBlocks: bBlocks, B0: b0,
+		V: v, K: kGain, W: w,
+	}, nil
 }
 
 // Predict free-runs the model over the inputs of d (absolute units) from
