@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench benchcmp cover fuzz golden golden-doctor
+.PHONY: check vet build test race bench bench-obs benchcmp cover fuzz golden golden-doctor
 
 # check is the default verify flow: vet + build + race-enabled tests.
 check:
@@ -14,6 +14,7 @@ cover:
 # fuzz gives every fuzz target a short exploratory run (CI smoke time);
 # raise FUZZTIME for a deeper local session.
 fuzz:
+	$(GO) test ./internal/telemetry/ -run '^$$' -fuzz FuzzLabelRoundTrip -fuzztime $(or $(FUZZTIME),10s)
 	$(GO) test ./internal/sysid/ -run '^$$' -fuzz FuzzPRBS -fuzztime $(or $(FUZZTIME),10s)
 	$(GO) test ./internal/sysid/ -run '^$$' -fuzz FuzzQuantizeTo -fuzztime $(or $(FUZZTIME),10s)
 	$(GO) test ./internal/experiments/ -run '^$$' -fuzz 'FuzzSteadyStateEpoch$$' -fuzztime $(or $(FUZZTIME),10s)
@@ -36,6 +37,12 @@ golden-doctor:
 # for the BENCH / BENCHTIME / OUT knobs.
 bench:
 	./scripts/bench.sh
+
+# bench-obs measures the fleet observability plane's overhead (the
+# supervised step at every attachment tier plus the full suite with
+# scopes+events on) and writes BENCH_obs.json.
+bench-obs:
+	OBS=1 ./scripts/bench.sh
 
 # benchcmp re-runs the engine benchmarks into BENCH_alloc.json and
 # diffs them against the committed BENCH_parallel.json baseline,

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"mimoctl/internal/experiments"
+	"mimoctl/internal/obs"
 	"mimoctl/internal/runner"
 	"mimoctl/internal/supervisor"
 	"mimoctl/internal/telemetry"
@@ -33,6 +34,8 @@ func main() {
 		parallel    = flag.Int("parallel", runner.DefaultWorkers(), "experiment worker count: 0 = serial, N = pool of N workers (output is byte-identical either way)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live diagnostics (/metrics, /healthz, /debug/pprof) on this address (e.g. :8090); empty disables")
 		frDir       = flag.String("flightrec-dir", "", "attach a flight recorder to every recordable run and dump each ring to this directory; empty disables")
+		obsOn       = flag.Bool("obs", false, "attach the fleet observability plane: per-loop scoped metrics, control SLOs on /slo, live events on /events (watch with cmd/mimostat)")
+		eventsPath  = flag.String("events", "", "write one JSONL event per engaged epoch per loop to this file (implies -obs)")
 	)
 	flag.Parse()
 	outputCSV = *format == "csv"
@@ -45,15 +48,46 @@ func main() {
 		experiments.SetFlightRecording(experiments.FlightRecConfig{Enabled: true, Dir: *frDir})
 	}
 
+	var reg *telemetry.Registry
 	if *metricsAddr != "" {
-		reg := telemetry.NewRegistry()
+		reg = telemetry.NewRegistry()
 		telemetry.RegisterGoMetrics(reg)
 		// Before any experiment runs: sim processors bind at construction.
 		experiments.EnableTelemetry(reg)
-		srv, err := telemetry.StartServer(*metricsAddr, telemetry.ServerOptions{
+	}
+
+	var fleet *obs.Fleet
+	if *obsOn || *eventsPath != "" {
+		var sinks []obs.Sink
+		if *eventsPath != "" {
+			f, err := os.Create(*eventsPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			// The name resolver closes over fleet, assigned below.
+			sinks = append(sinks, obs.NewJSONLSink(f, func(id uint32) string { return fleet.LoopName(id) }))
+		}
+		bus := obs.NewBus(1<<14, sinks...)
+		defer func() {
+			if err := bus.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "event sink: %v\n", err)
+			}
+		}()
+		fleet = obs.NewFleet(obs.Options{Registry: reg, Bus: bus, PublishVerdict: true})
+		experiments.SetObservability(fleet)
+	}
+
+	if *metricsAddr != "" {
+		opts := telemetry.ServerOptions{
 			Registry: reg,
 			Health:   supervisor.Healthz,
-		})
+		}
+		if fleet != nil {
+			opts.Extra = fleet.Endpoints()
+		}
+		srv, err := telemetry.StartServer(*metricsAddr, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -1,0 +1,153 @@
+// Command mimostat is the top-like fleet view of the control-SLO
+// engine: it polls a running mimoexp/mimotrace diagnostics endpoint
+// (started with -metrics-addr and -obs) and renders the fleet report —
+// loops sorted by worst burn rate, hottest first — refreshing in place.
+//
+// Usage:
+//
+//	mimostat [-addr host:port] [-interval 2s] [-n 20]
+//	mimostat -once                 # one snapshot, no screen control
+//	mimostat -loop faults/x/MIMO   # drill into one loop's SLO windows
+//
+// Exit status in -once mode mirrors the fleet verdict: 0 ok, 1 warn,
+// 2 fail — usable straight from a shell gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"mimoctl/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:8090", "diagnostics address of the observed process")
+		interval = flag.Duration("interval", 2*time.Second, "refresh period")
+		once     = flag.Bool("once", false, "print one snapshot and exit (status 0 ok, 1 warn, 2 fail)")
+		loop     = flag.String("loop", "", "drill into one loop: show every SLO window instead of the fleet table")
+		topN     = flag.Int("n", 0, "show only the hottest N loops (0 = all)")
+	)
+	flag.Parse()
+
+	url := "http://" + *addr + "/slo"
+	if *loop != "" {
+		url += "?loop=" + *loop
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	for {
+		rep, err := fetch(client, url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mimostat: %v\n", err)
+			if *once {
+				os.Exit(2)
+			}
+			time.Sleep(*interval)
+			continue
+		}
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear, home
+		}
+		render(os.Stdout, rep, *loop, *topN)
+		if *once {
+			switch rep.Level {
+			case "fail":
+				os.Exit(2)
+			case "warn":
+				os.Exit(1)
+			}
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func fetch(client *http.Client, url string) (*obs.FleetReport, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var rep obs.FleetReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return &rep, nil
+}
+
+func render(w *os.File, rep *obs.FleetReport, loop string, topN int) {
+	badge := strings.ToUpper(rep.Level)
+	fmt.Fprintf(w, "mimostat  %s  [%s] %s\n", time.Now().Format("15:04:05"), badge, rep.Detail)
+	fmt.Fprintf(w, "loops %d  alerting %d  burning %d  events %d (dropped %d)\n\n",
+		rep.Loops, rep.AlertingLoops, rep.BurningLoops, rep.EventsPublished, rep.EventsDropped)
+
+	if loop != "" {
+		renderLoop(w, rep, loop)
+		return
+	}
+	rows := rep.Rows
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	fmt.Fprintf(w, "%-40s %10s %9s %8s %-14s %9s %10s %8s\n",
+		"LOOP", "EPOCHS", "MODE", "BURN", "WORST-SLO", "TRACK-RMS", "FALLBACK", "VIOL")
+	for _, r := range rows {
+		alert := " "
+		if r.Alerting {
+			alert = "!"
+		}
+		fmt.Fprintf(w, "%-40s %10d %9s %7.2f%s %-14s %9.3f %10d %7.1fs\n",
+			clip(r.Loop, 40), r.Epochs, r.Mode, r.WorstBurn, alert, r.WorstSLO,
+			float64(r.TrackingRMS), r.FallbackEpochs, float64(r.ViolationSeconds))
+	}
+	if topN > 0 && len(rep.Rows) > topN {
+		fmt.Fprintf(w, "... %d more loops (raise -n)\n", len(rep.Rows)-topN)
+	}
+}
+
+func renderLoop(w *os.File, rep *obs.FleetReport, loop string) {
+	for _, r := range rep.Rows {
+		if r.Loop != loop {
+			continue
+		}
+		fmt.Fprintf(w, "loop %s: %d epochs, mode %s, tracking RMS %.3f, %d fallback epochs, %.1fs over power budget\n\n",
+			r.Loop, r.Epochs, r.Mode, float64(r.TrackingRMS), r.FallbackEpochs, float64(r.ViolationSeconds))
+		slos := append([]obs.SLOStatus(nil), r.SLOs...)
+		sort.Slice(slos, func(i, j int) bool { return slos[i].WorstBurn > slos[j].WorstBurn })
+		for _, s := range slos {
+			alert := ""
+			if s.Alerting {
+				alert = "  << ALERTING"
+			}
+			fmt.Fprintf(w, "  %-14s (%s, objective %.2f%%): %d/%d bad epochs%s\n",
+				s.Name, s.Signal, 100*s.Objective, s.BadEpochs, s.TotalEpochs, alert)
+			for _, win := range s.Windows {
+				mark := " "
+				if win.Burning {
+					mark = "*"
+				}
+				fmt.Fprintf(w, "    %s window %6d epochs: burn %6.2f / max %.2f\n",
+					mark, win.Epochs, win.Burn, win.MaxBurn)
+			}
+		}
+		return
+	}
+	fmt.Fprintf(w, "loop %q not found (%d loops registered)\n", loop, rep.Loops)
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -328,6 +328,10 @@ type Adapter struct {
 	revertPending  bool
 
 	yScr [2]float64
+
+	// Per-instance instrument binding (nil: use the global SetTelemetry
+	// binding).
+	tel *adaptMetrics
 	uScr [3]float64
 }
 
@@ -490,7 +494,7 @@ func (a *Adapter) Advance(t sim.Telemetry, proposed sim.Config, clean bool) Verd
 			a.failStreak = 0
 			a.attempts = 0
 			a.stats.Triggers++
-			if m := adaptTel.Load(); m != nil {
+			if m := a.metrics(); m != nil {
 				m.triggers.Inc()
 			}
 			a.toState(StateDrifted)
@@ -519,7 +523,7 @@ func (a *Adapter) Advance(t sim.Telemetry, proposed sim.Config, clean bool) Verd
 	case StateRedesigning:
 		cand, err := a.redesign()
 		a.stats.Redesigns++
-		if m := adaptTel.Load(); m != nil {
+		if m := a.metrics(); m != nil {
 			m.redesigns.Inc()
 		}
 		if err != nil {
@@ -539,7 +543,7 @@ func (a *Adapter) Advance(t sim.Telemetry, proposed sim.Config, clean bool) Verd
 			a.toState(StateSwapped)
 		} else {
 			a.stats.VerifyFailures++
-			if m := adaptTel.Load(); m != nil {
+			if m := a.metrics(); m != nil {
 				m.verifyFailures.Inc()
 			}
 			a.episodeFailed()
@@ -582,7 +586,7 @@ func (a *Adapter) episodeFailed() {
 		return
 	}
 	a.stats.GiveUps++
-	if m := adaptTel.Load(); m != nil {
+	if m := a.metrics(); m != nil {
 		m.giveUps.Inc()
 	}
 	a.cooldown = a.opts.CooldownEpochs
@@ -618,7 +622,7 @@ func (a *Adapter) dither(cfg sim.Config) sim.Config {
 		cfg.ROBIdx = clampIdx(cfg.ROBIdx+sign(a.dROB[i]), len(sim.ROBSettings))
 	}
 	a.stats.ExciteEpochs++
-	if m := adaptTel.Load(); m != nil {
+	if m := a.metrics(); m != nil {
 		m.exciteEpochs.Inc()
 	}
 	return cfg
@@ -643,7 +647,7 @@ func (a *Adapter) toState(s State) {
 }
 
 func (a *Adapter) publishState() {
-	if m := adaptTel.Load(); m != nil {
+	if m := a.metrics(); m != nil {
 		m.state.Set(float64(a.state))
 		m.excitation.Set(a.est.excitation())
 	}

@@ -33,6 +33,30 @@ func SetTelemetry(reg *telemetry.Registry) {
 		adaptTel.Store(nil)
 		return
 	}
+	adaptTel.Store(newAdaptMetrics(reg))
+}
+
+// BindTelemetry binds THIS adapter instance to a registry — normally a
+// per-loop scope — taking precedence over the process-global
+// SetTelemetry binding. nil reverts to the global binding.
+func (a *Adapter) BindTelemetry(reg *telemetry.Registry) {
+	if reg == nil || !reg.Enabled() {
+		a.tel = nil
+		return
+	}
+	a.tel = newAdaptMetrics(reg)
+}
+
+// metrics resolves the instrument binding for one hook: the instance
+// binding when present, else the process-global one.
+func (a *Adapter) metrics() *adaptMetrics {
+	if a.tel != nil {
+		return a.tel
+	}
+	return adaptTel.Load()
+}
+
+func newAdaptMetrics(reg *telemetry.Registry) *adaptMetrics {
 	m := &adaptMetrics{
 		state:          reg.Gauge("adapt_state", "adaptation state machine position (0 nominal, 1 drifted, 2 exciting, 3 redesigning, 4 verifying, 5 swapped)"),
 		excitation:     reg.Gauge("adapt_excitation_cov", "RLS poor-excitation metric: max diagonal of the parameter covariance"),
@@ -45,5 +69,5 @@ func SetTelemetry(reg *telemetry.Registry) {
 		reverts:        reg.Counter("adapt_reverts_total", "hot swaps undone after failing post-swap probation"),
 		giveUps:        reg.Counter("adapt_giveups_total", "drift episodes abandoned after the attempt budget"),
 	}
-	adaptTel.Store(m)
+	return m
 }

@@ -207,8 +207,9 @@ func runFaulted(ctrl core.ArchController, w sim.Workload, fc FaultClass, seed in
 		FreqLevels: len(sim.FreqSettingsGHz), CacheLevels: len(sim.CacheSettings), ROBLevels: len(sim.ROBSettings),
 	})
 	defer finishFlightRec(rec, ctrl, "faults_"+fc.Name+"_"+ctrl.Name())
+	wireLoopObs(ctrl, "faults/"+fc.Name+"/"+ctrl.Name())
 	row := FaultRow{Class: fc.Name, Arch: ctrl.Name()}
-	obs, observes := ctrl.(supervisor.ApplyObserver)
+	applyObs, observes := ctrl.(supervisor.ApplyObserver)
 
 	faultFrom, faultUntil := epochs/4, epochs*3/8
 	recoverFrom := epochs * 3 / 4
@@ -225,7 +226,7 @@ func runFaulted(ctrl core.ArchController, w sim.Workload, fc FaultClass, seed in
 		}
 		aerr := inj.Apply(cfg)
 		if observes {
-			obs.ObserveApply(cfg, aerr)
+			applyObs.ObserveApply(cfg, aerr)
 		}
 		tel = inj.Step()
 		if math.IsNaN(tel.TrueIPS) || math.IsInf(tel.TrueIPS, 0) ||

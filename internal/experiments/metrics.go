@@ -6,6 +6,7 @@ import (
 	"mimoctl/internal/adapt"
 	"mimoctl/internal/core"
 	"mimoctl/internal/health"
+	"mimoctl/internal/obs"
 	"mimoctl/internal/runner"
 	"mimoctl/internal/sim"
 	"mimoctl/internal/supervisor"
@@ -51,6 +52,49 @@ func EnableTelemetry(reg *telemetry.Registry) {
 func countEpochs(n int) {
 	if m := expTel.Load(); m != nil && n > 0 {
 		m.epochs.Add(uint64(n))
+	}
+}
+
+// expObs is the fleet observability plane the harness wires into every
+// supervised run it builds (nil: observability off, the seed behavior).
+var expObs atomic.Pointer[obs.Fleet]
+
+// SetObservability attaches a fleet observability plane to the harness:
+// supervised controllers driven by the fault sweep (and anything else
+// that calls wireLoopObs) get a per-loop fleet handle, per-loop scoped
+// metrics, and — when the fleet carries a bus — per-epoch events. Pass
+// nil to detach.
+func SetObservability(f *obs.Fleet) {
+	if f == nil {
+		expObs.Store(nil)
+		return
+	}
+	expObs.Store(f)
+}
+
+// Observability returns the attached fleet (nil when off).
+func Observability() *obs.Fleet { return expObs.Load() }
+
+// wireLoopObs registers loop with the attached fleet (no-op when none)
+// and binds the supervised controller — and its adapter, when present —
+// to the loop's telemetry scope so the whole stack reports per-loop
+// series.
+func wireLoopObs(ctrl core.ArchController, loop string) {
+	f := expObs.Load()
+	if f == nil {
+		return
+	}
+	sup, ok := ctrl.(*supervisor.Supervised)
+	if !ok {
+		return
+	}
+	l := f.Register(loop)
+	sup.SetLoopObs(l)
+	if scope := l.Scope(); scope.Enabled() {
+		sup.BindTelemetry(scope)
+		if ad := sup.Adapter(); ad != nil {
+			ad.BindTelemetry(scope)
+		}
 	}
 }
 

@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"mimoctl/internal/telemetry"
+)
+
+// Bus is a bounded, lock-free multi-producer single-consumer event
+// ring. Producers (control loops) publish with two atomic operations
+// and a slot copy; a background consumer drains batches to the attached
+// sinks and live subscribers. A full ring drops the event and counts it
+// — the publisher never blocks, never allocates, and never waits on a
+// slow sink (back-pressure surfaces as obs_events_dropped_total, not as
+// control-loop jitter).
+//
+// The layout is the Vyukov bounded-queue design: each slot carries a
+// sequence number producers and the consumer advance in lockstep, so no
+// slot is read before its write completed and no slot is overwritten
+// before its read completed.
+type Bus struct {
+	mask  uint64
+	slots []busSlot
+
+	head atomic.Uint64 // next producer position
+	tail uint64        // consumer position (pump goroutine only)
+
+	published atomic.Uint64
+	dropped   atomic.Uint64
+
+	wake chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	sinks   []Sink
+	sinkErr error
+	subs    map[chan Event]struct{}
+	subDrop atomic.Uint64
+}
+
+type busSlot struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
+// Sink consumes drained event batches on the bus's pump goroutine.
+type Sink interface {
+	WriteEvents(batch []Event) error
+}
+
+// NewBus returns a running bus with capacity rounded up to a power of
+// two (minimum 64). Close releases the pump goroutine.
+func NewBus(capacity int, sinks ...Sink) *Bus {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	b := &Bus{
+		mask:  uint64(n - 1),
+		slots: make([]busSlot, n),
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+		sinks: sinks,
+		subs:  make(map[chan Event]struct{}),
+	}
+	for i := range b.slots {
+		b.slots[i].seq.Store(uint64(i))
+	}
+	b.wg.Add(1)
+	go b.pump()
+	return b
+}
+
+// Publish copies ev into the ring. It reports false — after counting
+// the drop — when the ring is full. Safe for concurrent producers; a
+// nil bus ignores the event (the events-off tier).
+func (b *Bus) Publish(ev *Event) bool {
+	if b == nil {
+		return false
+	}
+	for {
+		pos := b.head.Load()
+		s := &b.slots[pos&b.mask]
+		seq := s.seq.Load()
+		if seq == pos {
+			if b.head.CompareAndSwap(pos, pos+1) {
+				s.ev = *ev
+				s.seq.Store(pos + 1)
+				b.published.Add(1)
+				select {
+				case b.wake <- struct{}{}:
+				default:
+				}
+				return true
+			}
+			continue
+		}
+		if seq < pos {
+			// The consumer has not freed this slot: ring full.
+			b.dropped.Add(1)
+			return false
+		}
+		// seq > pos: another producer advanced head; reload and retry.
+	}
+}
+
+// Stats reports cumulative publish accounting.
+func (b *Bus) Stats() (published, dropped, subscriberDropped uint64) {
+	if b == nil {
+		return 0, 0, 0
+	}
+	return b.published.Load(), b.dropped.Load(), b.subDrop.Load()
+}
+
+// SinkErr returns the first sink write error, if any.
+func (b *Bus) SinkErr() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sinkErr
+}
+
+// Subscribe registers a live event consumer with the given channel
+// buffer. A subscriber that falls behind loses events (counted in
+// Stats), never stalls the bus. cancel unregisters and closes the
+// channel.
+func (b *Bus) Subscribe(buf int) (events <-chan Event, cancel func()) {
+	if buf < 1 {
+		buf = 64
+	}
+	ch := make(chan Event, buf)
+	b.mu.Lock()
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			b.mu.Lock()
+			delete(b.subs, ch)
+			b.mu.Unlock()
+			close(ch)
+		})
+	}
+}
+
+// Close drains outstanding events, flushes sinks, and stops the pump.
+func (b *Bus) Close() error {
+	if b == nil {
+		return nil
+	}
+	close(b.done)
+	b.wg.Wait()
+	return b.SinkErr()
+}
+
+// pump is the single consumer: woken on publish, it drains the ring in
+// batches and fans out to sinks and subscribers.
+func (b *Bus) pump() {
+	defer b.wg.Done()
+	batch := make([]Event, 0, 256)
+	for {
+		stopping := false
+		select {
+		case <-b.wake:
+		case <-b.done:
+			stopping = true
+		}
+		for {
+			s := &b.slots[b.tail&b.mask]
+			if s.seq.Load() != b.tail+1 {
+				break
+			}
+			batch = append(batch, s.ev)
+			s.seq.Store(b.tail + uint64(len(b.slots)))
+			b.tail++
+			if len(batch) == cap(batch) {
+				b.flush(batch)
+				batch = batch[:0]
+			}
+		}
+		if len(batch) > 0 {
+			b.flush(batch)
+			batch = batch[:0]
+		}
+		if stopping {
+			return
+		}
+	}
+}
+
+func (b *Bus) flush(batch []Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, s := range b.sinks {
+		if err := s.WriteEvents(batch); err != nil && b.sinkErr == nil {
+			b.sinkErr = err
+		}
+	}
+	for ch := range b.subs {
+		for _, ev := range batch {
+			select {
+			case ch <- ev:
+			default:
+				b.subDrop.Add(1)
+			}
+		}
+	}
+}
+
+// NameFunc resolves a loop id to its registered name for the text
+// sinks; nil renders the numeric id.
+type NameFunc func(id uint32) string
+
+// JSONLSink renders one JSON object per event. Non-finite floats use
+// the shared telemetry.JSONFloat sentinels so faulted epochs — the ones
+// worth reading — survive encoding.
+type JSONLSink struct {
+	w     io.Writer
+	names NameFunc
+}
+
+// NewJSONLSink wraps w; names may be nil.
+func NewJSONLSink(w io.Writer, names NameFunc) *JSONLSink {
+	return &JSONLSink{w: w, names: names}
+}
+
+// WriteEvents implements Sink.
+func (s *JSONLSink) WriteEvents(batch []Event) error {
+	for i := range batch {
+		if err := writeEventJSON(s.w, &batch[i], s.names); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeEventJSON renders one event. Field order is fixed so streams are
+// diffable.
+func writeEventJSON(w io.Writer, ev *Event, names NameFunc) error {
+	_, err := fmt.Fprintf(w,
+		`{"loop":%q,"epoch":%d,"mode":%d,"health":%d,"adapt":%d,"flags":%d,`+
+			`"ips_target":%s,"power_target":%s,"ips":%s,"power_w":%s,`+
+			`"innov_norm":%s,"guardband":%s,"req_freq":%d,"req_cache":%d,"req_rob":%d}`+"\n",
+		loopName(ev.LoopID, names), ev.Epoch, ev.Mode, ev.Health, ev.Adapt, ev.Flags,
+		jf(ev.IPSTarget), jf(ev.PowerTarget), jf(ev.IPS), jf(ev.PowerW),
+		jf(ev.InnovNorm), jf(ev.Guardband), ev.ReqFreq, ev.ReqCache, ev.ReqROB)
+	return err
+}
+
+// jf renders a float as its JSON form with non-finite sentinels.
+func jf(v float64) string {
+	b, err := telemetry.JSONFloat(v).MarshalJSON()
+	if err != nil {
+		return `"NaN"`
+	}
+	return string(b)
+}
+
+func loopName(id uint32, names NameFunc) string {
+	if names != nil {
+		if n := names(id); n != "" {
+			return n
+		}
+	}
+	return "loop-" + strconv.FormatUint(uint64(id), 10)
+}
+
+// CSVSink renders events as CSV with a header row.
+type CSVSink struct {
+	w      *csv.Writer
+	names  NameFunc
+	wroteH bool
+}
+
+// NewCSVSink wraps w; names may be nil.
+func NewCSVSink(w io.Writer, names NameFunc) *CSVSink {
+	return &CSVSink{w: csv.NewWriter(w), names: names}
+}
+
+// csvHeader is the fixed column order of the CSV sink.
+var csvHeader = []string{
+	"loop", "epoch", "mode", "health", "adapt", "flags",
+	"ips_target", "power_target", "ips", "power_w",
+	"innov_norm", "guardband", "req_freq", "req_cache", "req_rob",
+}
+
+// WriteEvents implements Sink.
+func (s *CSVSink) WriteEvents(batch []Event) error {
+	if !s.wroteH {
+		if err := s.w.Write(csvHeader); err != nil {
+			return err
+		}
+		s.wroteH = true
+	}
+	row := make([]string, len(csvHeader))
+	for i := range batch {
+		ev := &batch[i]
+		row[0] = loopName(ev.LoopID, s.names)
+		row[1] = strconv.FormatUint(ev.Epoch, 10)
+		row[2] = strconv.Itoa(int(ev.Mode))
+		row[3] = strconv.Itoa(int(ev.Health))
+		row[4] = strconv.Itoa(int(ev.Adapt))
+		row[5] = strconv.Itoa(int(ev.Flags))
+		row[6] = cf(ev.IPSTarget)
+		row[7] = cf(ev.PowerTarget)
+		row[8] = cf(ev.IPS)
+		row[9] = cf(ev.PowerW)
+		row[10] = cf(ev.InnovNorm)
+		row[11] = cf(ev.Guardband)
+		row[12] = strconv.Itoa(int(ev.ReqFreq))
+		row[13] = strconv.Itoa(int(ev.ReqCache))
+		row[14] = strconv.Itoa(int(ev.ReqROB))
+		if err := s.w.Write(row); err != nil {
+			return err
+		}
+	}
+	s.w.Flush()
+	return s.w.Error()
+}
+
+func cf(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBusDeliversInOrder(t *testing.T) {
+	var buf bytes.Buffer
+	bus := NewBus(256, NewJSONLSink(&buf, nil))
+	for i := 0; i < 100; i++ {
+		ev := Event{LoopID: 1, Epoch: uint64(i + 1), IPS: float64(i)}
+		if !bus.Publish(&ev) {
+			t.Fatalf("publish %d failed", i)
+		}
+	}
+	if err := bus.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 100 {
+		t.Fatalf("got %d lines, want 100", len(lines))
+	}
+	if !strings.Contains(lines[0], `"epoch":1,`) {
+		t.Fatalf("first line out of order: %s", lines[0])
+	}
+	if !strings.Contains(lines[99], `"epoch":100,`) {
+		t.Fatalf("last line out of order: %s", lines[99])
+	}
+	pub, drop, _ := bus.Stats()
+	if pub != 100 || drop != 0 {
+		t.Fatalf("stats = (%d published, %d dropped), want (100, 0)", pub, drop)
+	}
+}
+
+func TestBusConcurrentPublishers(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[uint64]int)
+	sink := sinkFunc(func(batch []Event) error {
+		mu.Lock()
+		for _, ev := range batch {
+			seen[uint64(ev.LoopID)<<32|ev.Epoch]++
+		}
+		mu.Unlock()
+		return nil
+	})
+	bus := NewBus(1<<14, sink)
+	const producers, per = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ev := Event{LoopID: uint32(p), Epoch: uint64(i)}
+				for !bus.Publish(&ev) {
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := bus.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != producers*per {
+		t.Fatalf("delivered %d distinct events, want %d", len(seen), producers*per)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("event %x delivered %d times", k, n)
+		}
+	}
+}
+
+func TestBusDropsWhenFull(t *testing.T) {
+	// No sink, and we flood faster than the pump can drain a tiny ring:
+	// eventually drops must be counted, and Publish must never block.
+	bus := NewBus(1) // rounds up to 64
+	defer bus.Close()
+	var dropped bool
+	for i := 0; i < 1_000_000 && !dropped; i++ {
+		ev := Event{Epoch: uint64(i)}
+		if !bus.Publish(&ev) {
+			dropped = true
+		}
+	}
+	_, drops, _ := bus.Stats()
+	if !dropped || drops == 0 {
+		t.Fatalf("expected counted drops on a flooded ring, got dropped=%v drops=%d", dropped, drops)
+	}
+}
+
+func TestBusNilSafe(t *testing.T) {
+	var bus *Bus
+	ev := Event{}
+	if bus.Publish(&ev) {
+		t.Fatal("nil bus accepted an event")
+	}
+	if p, d, s := bus.Stats(); p != 0 || d != 0 || s != 0 {
+		t.Fatal("nil bus reported nonzero stats")
+	}
+	if err := bus.Close(); err != nil {
+		t.Fatalf("nil close: %v", err)
+	}
+}
+
+func TestBusSubscriber(t *testing.T) {
+	bus := NewBus(256)
+	defer bus.Close()
+	events, cancel := bus.Subscribe(16)
+	defer cancel()
+	ev := Event{LoopID: 7, Epoch: 42}
+	bus.Publish(&ev)
+	got := <-events
+	if got.LoopID != 7 || got.Epoch != 42 {
+		t.Fatalf("subscriber got %+v", got)
+	}
+}
+
+func TestCSVSink(t *testing.T) {
+	var buf bytes.Buffer
+	bus := NewBus(64, NewCSVSink(&buf, func(id uint32) string { return "ctl" }))
+	ev := Event{LoopID: 0, Epoch: 3, Mode: 1, ReqFreq: 9}
+	bus.Publish(&ev)
+	if err := bus.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d CSV lines, want header+1", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "loop,epoch,mode,") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "ctl,3,1,") {
+		t.Fatalf("bad row: %s", lines[1])
+	}
+}
+
+func TestPublishAllocFree(t *testing.T) {
+	bus := NewBus(1 << 16)
+	defer bus.Close()
+	ev := Event{LoopID: 1, Epoch: 1}
+	allocs := testing.AllocsPerRun(1000, func() {
+		bus.Publish(&ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("Publish allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+type sinkFunc func(batch []Event) error
+
+func (f sinkFunc) WriteEvents(batch []Event) error { return f(batch) }

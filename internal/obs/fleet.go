@@ -1,0 +1,447 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mimoctl/internal/telemetry"
+)
+
+// Options configures a Fleet. Every field is optional: the zero value
+// yields a fleet that evaluates the default SLOs with no metrics and no
+// events.
+type Options struct {
+	// Registry, when enabled, parents a per-loop telemetry scope
+	// (label loop="<name>") for every registered loop. The fleet bounds
+	// the scope cardinality via the registry's LRU (ScopeLimit).
+	Registry *telemetry.Registry
+	// ScopeLimit bounds live per-loop scopes (default 1024, <0 disables
+	// the bound).
+	ScopeLimit int
+	// Bus, when non-nil, receives one wide Event per observed epoch per
+	// loop.
+	Bus *Bus
+	// Specs are the control SLOs evaluated per loop; nil selects
+	// DefaultSpecs().
+	Specs []Spec
+	// EpochPeriod converts violation epochs to wall time in reports
+	// (default 50 µs, the paper's epoch).
+	EpochPeriod time.Duration
+	// PublishVerdict, when set, publishes the fleet verdict globally so
+	// supervisor.Healthz folds it in (see CurrentVerdict).
+	PublishVerdict bool
+}
+
+// Fleet is the loop registry of the observability plane.
+type Fleet struct {
+	opts  Options
+	specs []Spec
+
+	mu     sync.Mutex
+	loops  map[string]*Loop
+	byID   []*Loop
+	nextID uint32
+
+	// Fleet-level alert accounting, maintained on loop verdict
+	// transitions so the global verdict is O(1) per epoch.
+	alerting atomic.Int64
+	burning  atomic.Int64
+}
+
+// NewFleet builds a fleet.
+func NewFleet(opts Options) *Fleet {
+	if opts.Specs == nil {
+		opts.Specs = DefaultSpecs()
+	}
+	if opts.EpochPeriod <= 0 {
+		opts.EpochPeriod = 50 * time.Microsecond
+	}
+	if opts.ScopeLimit == 0 {
+		opts.ScopeLimit = 1024
+	}
+	if opts.Registry.Enabled() && opts.ScopeLimit > 0 {
+		opts.Registry.SetScopeLimit(opts.ScopeLimit)
+	}
+	f := &Fleet{opts: opts, specs: opts.Specs, loops: make(map[string]*Loop)}
+	if opts.PublishVerdict {
+		publishGlobal(f.verdict())
+	}
+	return f
+}
+
+// Bus returns the attached event bus (nil when events are off).
+func (f *Fleet) Bus() *Bus { return f.opts.Bus }
+
+// LoopName resolves a loop id for the event sinks.
+func (f *Fleet) LoopName(id uint32) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if int(id) < len(f.byID) {
+		return f.byID[id].name
+	}
+	return ""
+}
+
+// Register adds (or returns) the loop named name. The loop gets its own
+// telemetry scope and a fresh SLO evaluator per spec.
+func (f *Fleet) Register(name string) *Loop {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if l, ok := f.loops[name]; ok {
+		return l
+	}
+	l := &Loop{
+		fleet: f,
+		id:    f.nextID,
+		name:  name,
+		slos:  make([]*sloEval, len(f.specs)),
+	}
+	f.nextID++
+	for i, spec := range f.specs {
+		l.slos[i] = newSLOEval(spec)
+	}
+	if reg := f.opts.Registry; reg.Enabled() {
+		scope := reg.Scope(telemetry.L("loop", name))
+		l.scope = scope
+		l.mEpochs = scope.Counter("loop_epochs_total", "epochs observed for this loop")
+		l.mFallback = scope.Counter("loop_fallback_epochs_total", "epochs pinned at the safe configuration")
+		l.mTrackRMS = scope.Gauge("loop_tracking_error_rms", "windowed RMS of the worst-channel relative tracking error")
+		l.mViolation = scope.Counter("loop_power_violation_epochs_total", "epochs with power above target beyond the budget threshold")
+		l.mBurn = make([]telemetry.Gauge, len(f.specs))
+		l.mBad = make([]telemetry.Counter, len(f.specs))
+		l.mAlert = make([]telemetry.Gauge, len(f.specs))
+		for i, spec := range f.specs {
+			l.mBurn[i] = scope.Gauge("slo_burn_rate", "worst-window burn rate", telemetry.L("slo", spec.Name))
+			l.mBad[i] = scope.Counter("slo_bad_epochs_total", "epochs violating the SLO condition", telemetry.L("slo", spec.Name))
+			l.mAlert[i] = scope.Gauge("slo_alerting", "1 while every burn window exceeds its threshold", telemetry.L("slo", spec.Name))
+		}
+	}
+	f.loops[name] = l
+	f.byID = append(f.byID, l)
+	return l
+}
+
+// Loop returns a registered loop by name (nil when unknown).
+func (f *Fleet) Loop(name string) *Loop {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.loops[name]
+}
+
+// Sample is one epoch's observation handed to Loop.Observe. The driving
+// harness owns the sampling; the struct is fixed-size so the call never
+// allocates.
+type Sample struct {
+	// Mode: 0 engaged, 1 fallback. Health: model-health level. Adapt:
+	// adaptation state. Flags: Event flag bits.
+	Mode, Health, Adapt, Flags uint8
+
+	IPSTarget, PowerTarget float64
+	IPS, PowerW            float64
+
+	InnovNorm, Guardband float64
+
+	ReqFreq, ReqCache, ReqROB int16
+}
+
+// Loop is one registered control loop's observer handle.
+type Loop struct {
+	fleet *Fleet
+	id    uint32
+	name  string
+
+	mu    sync.Mutex
+	epoch uint64
+	slos  []*sloEval
+
+	prevIPSTarget, prevPowerTarget float64
+	haveTargets                    bool
+	sinceTargetChange              int
+
+	// Windowed tracking-error RMS (EMA of squared error).
+	emaSq float64
+
+	violationEpochs uint64
+	fallbackEpochs  uint64
+
+	wasAlerting, wasBurning bool
+
+	// Per-loop scoped instruments (nil when the fleet has no registry).
+	scope      *telemetry.Registry
+	mEpochs    telemetry.Counter
+	mFallback  telemetry.Counter
+	mTrackRMS  telemetry.Gauge
+	mViolation telemetry.Counter
+	mBurn      []telemetry.Gauge
+	mBad       []telemetry.Counter
+	mAlert     []telemetry.Gauge
+}
+
+// Name returns the registered loop name.
+func (l *Loop) Name() string { return l.name }
+
+// ID returns the fleet-assigned loop id.
+func (l *Loop) ID() uint32 { return l.id }
+
+// Scope returns the loop's telemetry scope (nil registry semantics
+// apply when the fleet was built without one).
+func (l *Loop) Scope() *telemetry.Registry { return l.scope }
+
+// rmsAlpha is the EMA coefficient of the tracking-error RMS gauge
+// (~300-epoch window).
+const rmsAlpha = 1.0 / 256
+
+// Observe folds one epoch in: SLO rings, per-loop gauges, and — when a
+// bus is attached — one published Event. Nil-safe (a nil loop ignores
+// the sample) so call sites need no events-on check; the whole path is
+// allocation-free (TestObserveAllocFree).
+func (l *Loop) Observe(s Sample) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.epoch++
+	if !l.haveTargets || s.IPSTarget != l.prevIPSTarget || s.PowerTarget != l.prevPowerTarget {
+		if l.haveTargets {
+			s.Flags |= FlagTargetChange
+		}
+		l.prevIPSTarget, l.prevPowerTarget = s.IPSTarget, s.PowerTarget
+		l.haveTargets = true
+		l.sinceTargetChange = 0
+	} else {
+		l.sinceTargetChange++
+	}
+
+	alerting, burning := false, false
+	for i, e := range l.slos {
+		bad := e.spec.isBad(&s, l.sinceTargetChange)
+		e.observe(bad)
+		alerting = alerting || e.alerting
+		burning = burning || e.burning
+		if l.mBurn != nil {
+			l.mBurn[i].Set(e.worstBurn())
+			if bad {
+				l.mBad[i].Inc()
+			}
+			if e.alerting {
+				l.mAlert[i].Set(1)
+			} else {
+				l.mAlert[i].Set(0)
+			}
+		}
+	}
+
+	// Derived per-loop signals shared by every spec.
+	worst := relErr(s.IPS, s.IPSTarget)
+	if p := relErr(s.PowerW, s.PowerTarget); p > worst {
+		worst = p
+	}
+	if !math.IsInf(worst, 0) {
+		l.emaSq += rmsAlpha * (worst*worst - l.emaSq)
+	}
+	if above(s.PowerW, s.PowerTarget) > 0.15 {
+		l.violationEpochs++
+		if l.mViolation != nil {
+			l.mViolation.Inc()
+		}
+	}
+	if s.Mode != 0 {
+		l.fallbackEpochs++
+		if l.mFallback != nil {
+			l.mFallback.Inc()
+		}
+	}
+	if l.mEpochs != nil {
+		l.mEpochs.Inc()
+		l.mTrackRMS.Set(math.Sqrt(l.emaSq))
+	}
+
+	transition := alerting != l.wasAlerting || burning != l.wasBurning
+	epoch := l.epoch
+	if transition {
+		if alerting != l.wasAlerting {
+			l.fleet.bump(&l.fleet.alerting, alerting)
+		}
+		if burning != l.wasBurning {
+			l.fleet.bump(&l.fleet.burning, burning)
+		}
+		l.wasAlerting, l.wasBurning = alerting, burning
+	}
+	l.mu.Unlock()
+
+	if transition && l.fleet.opts.PublishVerdict {
+		publishGlobal(l.fleet.verdict())
+	}
+
+	if bus := l.fleet.opts.Bus; bus != nil {
+		ev := Event{
+			LoopID: l.id, Epoch: epoch,
+			Mode: s.Mode, Health: s.Health, Adapt: s.Adapt, Flags: s.Flags,
+			IPSTarget: s.IPSTarget, PowerTarget: s.PowerTarget,
+			IPS: s.IPS, PowerW: s.PowerW,
+			InnovNorm: s.InnovNorm, Guardband: s.Guardband,
+			ReqFreq: s.ReqFreq, ReqCache: s.ReqCache, ReqROB: s.ReqROB,
+		}
+		bus.Publish(&ev)
+	}
+}
+
+func (f *Fleet) bump(ctr *atomic.Int64, up bool) {
+	if up {
+		ctr.Add(1)
+	} else {
+		ctr.Add(-1)
+	}
+}
+
+// Level grades a fleet verdict for Healthz composition.
+type Level int
+
+const (
+	// LevelOK: no loop is burning through its error budget abnormally.
+	LevelOK Level = iota
+	// LevelWarn: at least one burn window is over threshold somewhere,
+	// but no SLO has every window burning.
+	LevelWarn
+	// LevelFail: at least one loop has an SLO with every window burning
+	// — the multi-window alert.
+	LevelFail
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelWarn:
+		return "warn"
+	case LevelFail:
+		return "fail"
+	}
+	return "ok"
+}
+
+// Verdict is the fleet-level SLO judgment folded into Healthz.
+type Verdict struct {
+	Level         Level
+	Detail        string
+	Loops         int
+	BurningLoops  int
+	AlertingLoops int
+}
+
+// verdict computes the current fleet verdict.
+func (f *Fleet) verdict() Verdict {
+	f.mu.Lock()
+	n := len(f.byID)
+	f.mu.Unlock()
+	alerting := int(f.alerting.Load())
+	burning := int(f.burning.Load())
+	v := Verdict{Loops: n, BurningLoops: burning, AlertingLoops: alerting}
+	switch {
+	case alerting > 0:
+		v.Level = LevelFail
+		v.Detail = fmt.Sprintf("%d/%d loops alerting on a control SLO", alerting, n)
+	case burning > 0:
+		v.Level = LevelWarn
+		v.Detail = fmt.Sprintf("%d/%d loops burning error budget", burning, n)
+	default:
+		v.Detail = fmt.Sprintf("%d loops within SLO", n)
+	}
+	return v
+}
+
+// Verdict returns the current fleet-level judgment.
+func (f *Fleet) Verdict() Verdict { return f.verdict() }
+
+// LoopStatus is one loop's row of the fleet report.
+type LoopStatus struct {
+	Loop   string `json:"loop"`
+	Epochs uint64 `json:"epochs"`
+	Mode   string `json:"mode"`
+
+	TrackingRMS         telemetry.JSONFloat `json:"tracking_error_rms"`
+	FallbackEpochs      uint64              `json:"fallback_epochs"`
+	ViolationEpochs     uint64              `json:"power_violation_epochs"`
+	ViolationSeconds    telemetry.JSONFloat `json:"power_violation_seconds"`
+	SLOs                []SLOStatus         `json:"slos"`
+	WorstBurn           float64             `json:"worst_burn"`
+	WorstSLO            string              `json:"worst_slo"`
+	Alerting            bool                `json:"alerting"`
+	lastMode, lastAdapt uint8
+}
+
+// FleetReport is the /slo payload: loops sorted by worst burn rate,
+// hottest first.
+type FleetReport struct {
+	Loops         int          `json:"loops"`
+	Level         string       `json:"level"`
+	Detail        string       `json:"detail"`
+	AlertingLoops int          `json:"alerting_loops"`
+	BurningLoops  int          `json:"burning_loops"`
+	Rows          []LoopStatus `json:"rows"`
+
+	EventsPublished uint64 `json:"events_published"`
+	EventsDropped   uint64 `json:"events_dropped"`
+}
+
+// Report snapshots every loop, sorted by worst burn descending (ties by
+// name, so the report is deterministic).
+func (f *Fleet) Report() FleetReport {
+	f.mu.Lock()
+	loops := append([]*Loop(nil), f.byID...)
+	f.mu.Unlock()
+	v := f.verdict()
+	rep := FleetReport{
+		Loops: v.Loops, Level: v.Level.String(), Detail: v.Detail,
+		AlertingLoops: v.AlertingLoops, BurningLoops: v.BurningLoops,
+	}
+	if bus := f.opts.Bus; bus != nil {
+		rep.EventsPublished, rep.EventsDropped, _ = bus.Stats()
+	}
+	for _, l := range loops {
+		rep.Rows = append(rep.Rows, l.status(f.opts.EpochPeriod))
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool {
+		if rep.Rows[i].WorstBurn != rep.Rows[j].WorstBurn {
+			return rep.Rows[i].WorstBurn > rep.Rows[j].WorstBurn
+		}
+		return rep.Rows[i].Loop < rep.Rows[j].Loop
+	})
+	return rep
+}
+
+// status snapshots one loop.
+func (l *Loop) status(epochPeriod time.Duration) LoopStatus {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := LoopStatus{
+		Loop:            l.name,
+		Epochs:          l.epoch,
+		TrackingRMS:     telemetry.JSONFloat(math.Sqrt(l.emaSq)),
+		FallbackEpochs:  l.fallbackEpochs,
+		ViolationEpochs: l.violationEpochs,
+		ViolationSeconds: telemetry.JSONFloat(
+			float64(l.violationEpochs) * epochPeriod.Seconds()),
+	}
+	st.Mode = "engaged"
+	for _, e := range l.slos {
+		s := e.status()
+		st.SLOs = append(st.SLOs, s)
+		if s.WorstBurn >= st.WorstBurn {
+			if s.WorstBurn > st.WorstBurn || st.WorstSLO == "" {
+				st.WorstBurn, st.WorstSLO = s.WorstBurn, s.Name
+			}
+		}
+		st.Alerting = st.Alerting || s.Alerting
+		if e.spec.Signal == SignalFallback && e.seen > 0 {
+			// The most recent fallback flag doubles as the live mode.
+			if e.ring[(e.pos+len(e.ring)-1)%len(e.ring)] != 0 {
+				st.Mode = "fallback"
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,103 @@
+// Package obs is the fleet observability plane: per-loop telemetry
+// scopes, wide per-epoch events, and an online control-SLO engine with
+// multi-window burn-rate alerting.
+//
+// The rest of the observability stack answers "what is this process
+// doing" (telemetry.Registry), "what did this one loop do, exactly"
+// (flightrec), and "does the model still match the plant"
+// (health.Monitor). This package answers the fleet-scale question the
+// control-plane work needs: out of thousands of concurrent loops, WHICH
+// ones are failing their contract, and how fast are they burning
+// through their error budget. The paper's formal guarantees — settling
+// time, bounded overshoot, guardband-backed robustness — are exactly
+// the observables a per-loop SLO can score online, so the fleet's
+// status is the paper's pitch made operational.
+//
+// Three pieces:
+//
+//   - Fleet/Loop: a registry of control loops. Each registered loop
+//     gets a telemetry scope (per-loop series under one exposition,
+//     bounded cardinality via the registry's scope LRU) and an SLO
+//     evaluator. The driving harness calls Loop.Observe once per epoch
+//     with a fixed-size Sample; with events and registry both detached
+//     the call reduces to the SLO ring updates — no allocation either
+//     way (gated by TestObserveAllocFree).
+//
+//   - Bus: a lock-free bounded MPSC ring carrying one wide Event per
+//     observed epoch per loop to a background consumer that fans out to
+//     JSONL/CSV sinks and live /events subscribers. Back-pressure is a
+//     counted drop, never a stall: the control loop outranks its
+//     observers. This is the fleet-scale sibling of the flight recorder
+//     — sampled rather than exhaustive, shared rather than per-loop.
+//
+//   - SLO engine: declarative objectives over control-theoretic signals
+//     (tracking error, overshoot, settling, power-budget violation,
+//     fallback ratio) evaluated per loop over multi-window burn rates,
+//     surfaced via /slo, per-loop burn gauges, and a process-global
+//     verdict folded into supervisor.Healthz.
+package obs
+
+import (
+	"sync/atomic"
+)
+
+// Event is one wide per-epoch observation of one loop: everything the
+// fleet view needs to attribute behavior without replaying the run.
+// The struct is fixed-size and pointer-free so publishing is one ring
+// copy, and a dropped event loses one epoch of one loop, nothing more.
+type Event struct {
+	LoopID uint32
+	Epoch  uint64
+
+	// Mode is the supervisor mode (0 engaged, 1 fallback); Health the
+	// model-health level (0 ok, 1 warn, 2 fail); Adapt the adaptation
+	// state machine position (0 when no adapter is attached); Flags the
+	// per-epoch evidence bits below.
+	Mode, Health, Adapt, Flags uint8
+
+	IPSTarget, PowerTarget float64
+	IPS, PowerW            float64
+
+	// InnovNorm is the worst-channel relative Kalman innovation (NaN on
+	// epochs the inner controller did not step); Guardband is the
+	// model-health monitor's guardband-consumption EMA (NaN when no
+	// monitor publishes).
+	InnovNorm, Guardband float64
+
+	// Requested knob levels this epoch.
+	ReqFreq, ReqCache, ReqROB int16
+}
+
+// Event flag bits.
+const (
+	// FlagSanitized marks an epoch where at least one sensor sample was
+	// substituted.
+	FlagSanitized uint8 = 1 << iota
+	// FlagFallback marks an epoch pinned at the safe configuration.
+	FlagFallback
+	// FlagApplyError marks an epoch entered with the actuator failing.
+	FlagApplyError
+	// FlagTargetChange marks the first epoch after a SetTargets.
+	FlagTargetChange
+)
+
+// globalVerdict is the process-global fleet verdict for Healthz
+// composition, mirroring health.Current: the last fleet that published
+// wins, which with one fleet per process — the deployment shape — is
+// exactly that fleet's verdict.
+var globalVerdict atomic.Pointer[Verdict]
+
+// CurrentVerdict returns the most recently published fleet verdict.
+// ok is false when no fleet has published.
+func CurrentVerdict() (Verdict, bool) {
+	v := globalVerdict.Load()
+	if v == nil {
+		return Verdict{}, false
+	}
+	return *v, true
+}
+
+// ResetGlobal clears the published verdict (tests).
+func ResetGlobal() { globalVerdict.Store(nil) }
+
+func publishGlobal(v Verdict) { globalVerdict.Store(&v) }

@@ -1,0 +1,315 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+)
+
+// The control-SLO engine scores each loop's formal contract online. An
+// SLO declares which epochs are "bad" in terms of a control-theoretic
+// signal, what fraction of good epochs the contract promises
+// (Objective), and the burn-rate windows that turn bad-epoch density
+// into an alert. Burn rate is the SRE definition transplanted to epoch
+// time: (observed bad fraction over the window) / (allowed bad
+// fraction), so burn 1.0 spends the error budget exactly at the rate
+// the objective tolerates and burn 14 exhausts a day's budget in 100
+// minutes. An SLO alerts only when EVERY window burns past its
+// threshold — the short window proves the problem is happening now, the
+// long one proves it is not a blip (multi-window, multi-burn-rate
+// alerting).
+
+// Signal selects which per-epoch condition an SLO scores.
+type Signal int
+
+const (
+	// SignalTrackingError marks an epoch bad when the worst-channel
+	// relative tracking error |y-r|/r exceeds Threshold.
+	SignalTrackingError Signal = iota
+	// SignalOvershoot marks an epoch bad when either output exceeds its
+	// target from above by more than Threshold (relative): bounded
+	// overshoot is a promise of the servo design.
+	SignalOvershoot
+	// SignalSettling marks an epoch bad when the loop is still outside
+	// the Threshold band more than Grace epochs after a target change —
+	// the paper's settling-time guarantee as a contract.
+	SignalSettling
+	// SignalPowerBudget marks an epoch bad when measured power exceeds
+	// the power target by more than Threshold (relative): the capping
+	// contract. Violation epochs also accumulate into the
+	// power-budget-violation gauge surfaced per loop.
+	SignalPowerBudget
+	// SignalFallback marks an epoch bad when the loop is pinned at the
+	// safe configuration: time spent in fallback is time the formal
+	// controller delivered nothing.
+	SignalFallback
+)
+
+// String names the signal for reports.
+func (s Signal) String() string {
+	switch s {
+	case SignalTrackingError:
+		return "tracking-error"
+	case SignalOvershoot:
+		return "overshoot"
+	case SignalSettling:
+		return "settling"
+	case SignalPowerBudget:
+		return "power-budget"
+	case SignalFallback:
+		return "fallback"
+	}
+	return fmt.Sprintf("signal(%d)", int(s))
+}
+
+// Window is one burn-rate evaluation window.
+type Window struct {
+	// Epochs is the window length.
+	Epochs int
+	// MaxBurn is the alerting threshold on the burn rate over this
+	// window.
+	MaxBurn float64
+}
+
+// Spec is one declarative control SLO.
+type Spec struct {
+	// Name identifies the SLO in reports and metric labels.
+	Name string
+	// Signal selects the per-epoch badness condition.
+	Signal Signal
+	// Threshold parameterizes the condition (relative error band,
+	// overshoot fraction, budget headroom) — unused by SignalFallback.
+	Threshold float64
+	// Objective is the promised good-epoch fraction (e.g. 0.95: at most
+	// 5% of epochs bad).
+	Objective float64
+	// Grace, for SignalSettling, is the settling allowance in epochs
+	// after a target change.
+	Grace int
+	// Windows are the burn-rate windows; an alert requires every window
+	// to burn past its threshold. Empty specs never alert.
+	Windows []Window
+}
+
+// errBudget returns the allowed bad fraction.
+func (s Spec) errBudget() float64 {
+	b := 1 - s.Objective
+	if b <= 0 {
+		b = 1e-9 // a 100% objective still yields finite burn rates
+	}
+	return b
+}
+
+// DefaultSpecs returns the standard control-SLO set, sized for the
+// 50 µs epoch and the default targets. The window pairs follow the
+// multi-window pattern: a short window (fast detection) and a long
+// window (sustained evidence), both of which must burn.
+func DefaultSpecs() []Spec {
+	return []Spec{
+		{
+			Name:      "tracking",
+			Signal:    SignalTrackingError,
+			Threshold: 0.25, // worst channel within 25% of target
+			Objective: 0.90,
+			Windows:   []Window{{Epochs: 256, MaxBurn: 3}, {Epochs: 2048, MaxBurn: 1.5}},
+		},
+		{
+			Name:      "power-budget",
+			Signal:    SignalPowerBudget,
+			Threshold: 0.15, // the paper's recovery band: power within 15% above target
+			Objective: 0.95,
+			Windows:   []Window{{Epochs: 256, MaxBurn: 4}, {Epochs: 2048, MaxBurn: 2}},
+		},
+		{
+			Name:      "availability",
+			Signal:    SignalFallback,
+			Threshold: 0,
+			Objective: 0.99,
+			Windows:   []Window{{Epochs: 256, MaxBurn: 10}, {Epochs: 2048, MaxBurn: 5}},
+		},
+	}
+}
+
+// sloEval is the online evaluator of one Spec for one loop: a bad-flag
+// ring sized to the longest window with incrementally maintained
+// per-window bad counts. Updates are O(windows) with no allocation.
+type sloEval struct {
+	spec   Spec
+	budget float64
+
+	ring []uint8 // bad flags, capacity = longest window
+	pos  int     // next write index
+	seen int     // epochs observed, capped at len(ring)
+
+	winBad []int // bad count within each window
+
+	totalBad    uint64
+	totalEpochs uint64
+
+	alerting bool
+	burning  bool
+}
+
+func newSLOEval(spec Spec) *sloEval {
+	maxW := 1
+	for _, w := range spec.Windows {
+		if w.Epochs > maxW {
+			maxW = w.Epochs
+		}
+	}
+	return &sloEval{
+		spec:   spec,
+		budget: spec.errBudget(),
+		ring:   make([]uint8, maxW),
+		winBad: make([]int, len(spec.Windows)),
+	}
+}
+
+// observe folds one epoch's badness in and refreshes the verdicts.
+func (e *sloEval) observe(bad bool) {
+	v := uint8(0)
+	if bad {
+		v = 1
+		e.totalBad++
+	}
+	e.totalEpochs++
+	n := len(e.ring)
+	for i, w := range e.spec.Windows {
+		e.winBad[i] += int(v)
+		if e.seen >= w.Epochs {
+			// The epoch leaving window i is w.Epochs back from the
+			// write position.
+			e.winBad[i] -= int(e.ring[(e.pos+n-w.Epochs)%n])
+		}
+	}
+	e.ring[e.pos] = v
+	e.pos = (e.pos + 1) % n
+	if e.seen < n {
+		e.seen++
+	}
+
+	e.burning, e.alerting = false, len(e.spec.Windows) > 0
+	for i, w := range e.spec.Windows {
+		burn := e.burn(i, w)
+		if burn >= w.MaxBurn {
+			e.burning = true
+		} else {
+			e.alerting = false
+		}
+	}
+}
+
+// burn returns the burn rate of window i.
+func (e *sloEval) burn(i int, w Window) float64 {
+	span := w.Epochs
+	if e.seen < span {
+		span = e.seen
+	}
+	if span == 0 {
+		return 0
+	}
+	return (float64(e.winBad[i]) / float64(span)) / e.budget
+}
+
+// worstBurn returns the maximum burn rate across windows.
+func (e *sloEval) worstBurn() float64 {
+	worst := 0.0
+	for i, w := range e.spec.Windows {
+		if b := e.burn(i, w); b > worst {
+			worst = b
+		}
+	}
+	return worst
+}
+
+// isBad evaluates the spec's badness condition on one sample. since is
+// the number of epochs since the last target change.
+func (s Spec) isBad(sample *Sample, since int) bool {
+	switch s.Signal {
+	case SignalTrackingError:
+		return relErr(sample.IPS, sample.IPSTarget) > s.Threshold ||
+			relErr(sample.PowerW, sample.PowerTarget) > s.Threshold
+	case SignalOvershoot:
+		return above(sample.IPS, sample.IPSTarget) > s.Threshold ||
+			above(sample.PowerW, sample.PowerTarget) > s.Threshold
+	case SignalSettling:
+		if since <= s.Grace {
+			return false
+		}
+		return relErr(sample.IPS, sample.IPSTarget) > s.Threshold ||
+			relErr(sample.PowerW, sample.PowerTarget) > s.Threshold
+	case SignalPowerBudget:
+		return above(sample.PowerW, sample.PowerTarget) > s.Threshold
+	case SignalFallback:
+		return sample.Mode != 0
+	}
+	return false
+}
+
+// relErr is |v-target|/target (0 when the target is not positive, NaN
+// counts as bad via the > comparison convention below).
+func relErr(v, target float64) float64 {
+	if !(target > 0) {
+		return 0
+	}
+	e := math.Abs(v-target) / target
+	if math.IsNaN(e) {
+		return math.Inf(1) // a non-finite measurement is maximally bad
+	}
+	return e
+}
+
+// above is the relative excess of v over target from above only.
+func above(v, target float64) float64 {
+	if !(target > 0) {
+		return 0
+	}
+	e := (v - target) / target
+	if math.IsNaN(e) {
+		return math.Inf(1)
+	}
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// WindowStatus reports one window's burn state.
+type WindowStatus struct {
+	Epochs  int     `json:"epochs"`
+	Burn    float64 `json:"burn"`
+	MaxBurn float64 `json:"max_burn"`
+	Burning bool    `json:"burning"`
+}
+
+// SLOStatus reports one SLO's state for one loop.
+type SLOStatus struct {
+	Name        string         `json:"name"`
+	Signal      string         `json:"signal"`
+	Objective   float64        `json:"objective"`
+	BadEpochs   uint64         `json:"bad_epochs"`
+	TotalEpochs uint64         `json:"total_epochs"`
+	Windows     []WindowStatus `json:"windows"`
+	WorstBurn   float64        `json:"worst_burn"`
+	Alerting    bool           `json:"alerting"`
+}
+
+// status snapshots the evaluator.
+func (e *sloEval) status() SLOStatus {
+	st := SLOStatus{
+		Name:        e.spec.Name,
+		Signal:      e.spec.Signal.String(),
+		Objective:   e.spec.Objective,
+		BadEpochs:   e.totalBad,
+		TotalEpochs: e.totalEpochs,
+		Windows:     make([]WindowStatus, len(e.spec.Windows)),
+		Alerting:    e.alerting,
+	}
+	for i, w := range e.spec.Windows {
+		b := e.burn(i, w)
+		st.Windows[i] = WindowStatus{Epochs: w.Epochs, Burn: b, MaxBurn: w.MaxBurn, Burning: b >= w.MaxBurn}
+		if b > st.WorstBurn {
+			st.WorstBurn = b
+		}
+	}
+	return st
+}

@@ -28,6 +28,35 @@ type metrics struct {
 	jobSeconds  telemetry.Histogram
 	busySeconds telemetry.FloatCounter
 	poolSeconds telemetry.FloatCounter
+
+	// reg parents the per-job scopes below; jobs are coarse (>= ms), so
+	// the scope lookup on completion is noise, and the registry's scope
+	// LRU bounds cardinality when labels are unbounded.
+	reg *telemetry.Registry
+}
+
+// jobDone records one completed job: the pool-level instruments plus a
+// per-job-family scope (label job="<label up to the first '/'>", i.e.
+// the experiment name for "fig11/astar/MIMO"-style labels).
+func (m *metrics) jobDone(label string, seconds float64) {
+	m.done.Inc()
+	m.jobSeconds.Observe(seconds)
+	m.busySeconds.Add(seconds)
+	if m.reg.Enabled() && label != "" {
+		scope := m.reg.Scope(telemetry.L("job", jobFamily(label)))
+		scope.Counter("runner_job_done_total", "jobs completed in this family").Inc()
+		scope.FloatCounter("runner_job_family_seconds_total", "summed wall time of this family's jobs").Add(seconds)
+	}
+}
+
+// jobFamily is the label prefix up to the first '/'.
+func jobFamily(label string) string {
+	for i := 0; i < len(label); i++ {
+		if label[i] == '/' {
+			return label[:i]
+		}
+	}
+	return label
 }
 
 var tel atomic.Pointer[metrics]
@@ -45,6 +74,7 @@ func SetTelemetry(reg *telemetry.Registry) {
 		return
 	}
 	tel.Store(&metrics{
+		reg:         reg,
 		queued:      reg.Gauge("runner_jobs_queued", "experiment jobs waiting for a worker"),
 		running:     reg.Gauge("runner_jobs_running", "experiment jobs currently executing"),
 		workers:     reg.Gauge("runner_workers", "workers attached to active pools"),

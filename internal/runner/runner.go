@@ -89,10 +89,8 @@ func runSerial(jobs []Job) error {
 		err := jobs[i].Run()
 		if m != nil {
 			m.running.Add(-1)
-			m.done.Inc()
 			d := time.Since(start).Seconds()
-			m.jobSeconds.Observe(d)
-			m.busySeconds.Add(d)
+			m.jobDone(jobs[i].Label, d)
 			m.poolSeconds.Add(d) // serial: the one "worker" is always busy
 		}
 		if err != nil {
@@ -192,10 +190,7 @@ func runPool(jobs []Job, workers int) error {
 		err := jobs[i].Run()
 		if m != nil {
 			m.running.Add(-1)
-			m.done.Inc()
-			d := time.Since(start).Seconds()
-			m.jobSeconds.Observe(d)
-			m.busySeconds.Add(d)
+			m.jobDone(jobs[i].Label, time.Since(start).Seconds())
 		}
 		if err != nil {
 			record(i, err)

@@ -262,3 +262,37 @@ func BenchmarkRunnerWallClock(b *testing.B) {
 		})
 	}
 }
+
+// TestPerJobScopedTimings: labeled jobs land in per-family telemetry
+// scopes (label prefix up to the first '/'), alongside the pool-level
+// aggregates.
+func TestPerJobScopedTimings(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	SetTelemetry(reg)
+	defer SetTelemetry(nil)
+
+	jobs := []Job{
+		{Label: "fig11/astar/MIMO", Run: func() error { return nil }},
+		{Label: "fig11/namd/MIMO", Run: func() error { return nil }},
+		{Label: "faults/sensor-nan/0", Run: func() error { return nil }},
+		{Label: "plain", Run: func() error { return nil }},
+	}
+	if err := Run(jobs, 0); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`runner_job_done_total{job="fig11"} 2`,
+		`runner_job_done_total{job="faults"} 1`,
+		`runner_job_done_total{job="plain"} 1`,
+		`runner_job_family_seconds_total{job="fig11"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

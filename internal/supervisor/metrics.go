@@ -2,9 +2,11 @@ package supervisor
 
 import (
 	"fmt"
+	"strings"
 	"sync/atomic"
 
 	"mimoctl/internal/health"
+	"mimoctl/internal/obs"
 	"mimoctl/internal/telemetry"
 )
 
@@ -51,6 +53,32 @@ func SetTelemetry(reg *telemetry.Registry) {
 		supTel.Store(nil)
 		return
 	}
+	supTel.Store(newSupMetrics(reg))
+}
+
+// BindTelemetry binds THIS supervisor instance to a registry — normally
+// a per-loop scope (reg.Scope(telemetry.L("loop", name))) so a fleet of
+// supervisors exposes per-loop series instead of sharing the
+// process-global binding. An instance binding takes precedence over
+// SetTelemetry; nil reverts to the global binding.
+func (s *Supervised) BindTelemetry(reg *telemetry.Registry) {
+	if reg == nil || !reg.Enabled() {
+		s.tel = nil
+		return
+	}
+	s.tel = newSupMetrics(reg)
+}
+
+// metrics resolves the instrument binding for one hook: the instance
+// binding when present, else the process-global one.
+func (s *Supervised) metrics() *supMetrics {
+	if s.tel != nil {
+		return s.tel
+	}
+	return supTel.Load()
+}
+
+func newSupMetrics(reg *telemetry.Registry) *supMetrics {
 	m := &supMetrics{
 		epochs:         reg.Counter("supervisor_epochs_total", "supervised steps executed"),
 		mode:           reg.Gauge("supervisor_mode", "current mode (0 engaged, 1 fallback)"),
@@ -69,7 +97,7 @@ func SetTelemetry(reg *telemetry.Registry) {
 		applyFailures:     reg.Counter("supervisor_apply_failures_total", "failed Apply attempts reported by the harness"),
 		applyRetries:      reg.Counter("supervisor_apply_retries_total", "re-issued actuation requests"),
 	}
-	supTel.Store(m)
+	return m
 }
 
 // Healthz reports process health for the diagnostics endpoint: healthy
@@ -80,20 +108,36 @@ func SetTelemetry(reg *telemetry.Registry) {
 // certificate lost) degrades the endpoint to 503 even while the
 // supervisor is still nominally engaged, and a LevelWarn annotates the
 // healthy response — the operator's early warning, straight from the
-// paper's runtime-checked stability story.
+// paper's runtime-checked stability story. When a fleet observability
+// plane publishes (obs.CurrentVerdict), its SLO verdict is folded in
+// the same way: precedence is fallback, then model-health fail, then
+// SLO fail; warn levels from either source annotate the healthy
+// response without degrading it.
 func Healthz() (ok bool, detail string) {
 	if currentMode.Load() == int32(ModeFallback) {
 		return false, "supervisor in fallback: pinned at the safe configuration"
 	}
+	var warns []string
 	if snap, published := health.Current(); published {
 		switch snap.Level {
 		case health.LevelFail:
 			return false, fmt.Sprintf("supervisor engaged; model health fail: %s (whiteness p=%.2g, guardband %.0f%%, margin %.2f)",
 				snap.Detail, snap.WhitenessP, 100*snap.GuardbandConsumption, snap.StabilityMargin)
 		case health.LevelWarn:
-			return true, fmt.Sprintf("supervisor engaged; model health warn: %s (whiteness p=%.2g, guardband %.0f%%, margin %.2f)",
-				snap.Detail, snap.WhitenessP, 100*snap.GuardbandConsumption, snap.StabilityMargin)
+			warns = append(warns, fmt.Sprintf("model health warn: %s (whiteness p=%.2g, guardband %.0f%%, margin %.2f)",
+				snap.Detail, snap.WhitenessP, 100*snap.GuardbandConsumption, snap.StabilityMargin))
 		}
+	}
+	if v, published := obs.CurrentVerdict(); published {
+		switch v.Level {
+		case obs.LevelFail:
+			return false, "supervisor engaged; control SLO fail: " + v.Detail
+		case obs.LevelWarn:
+			warns = append(warns, "control SLO warn: "+v.Detail)
+		}
+	}
+	if len(warns) > 0 {
+		return true, "supervisor engaged; " + strings.Join(warns, "; ")
 	}
 	return true, "supervisor engaged"
 }

@@ -38,6 +38,7 @@ import (
 	"mimoctl/internal/core"
 	"mimoctl/internal/flightrec"
 	"mimoctl/internal/health"
+	"mimoctl/internal/obs"
 	"mimoctl/internal/sim"
 )
 
@@ -289,6 +290,11 @@ type Supervised struct {
 
 	// Adaptation (nil when Options.Adapter was not set).
 	adapter *adapt.Adapter
+
+	// Per-instance instrument binding (nil: use the global SetTelemetry
+	// binding) and fleet observability handle (nil: no per-epoch samples).
+	tel     *supMetrics
+	loopObs *obs.Loop
 }
 
 // New wraps the inner controller. The inner controller's current
@@ -297,7 +303,7 @@ func New(inner core.ArchController, opts Options) *Supervised {
 	s := &Supervised{inner: inner, opts: opts.withDefaults(), applyOK: true, adapter: opts.Adapter}
 	s.ipsTarget, s.powerTarget = inner.Targets()
 	s.grace = s.opts.GraceEpochs
-	markMode(supTel.Load(), ModeEngaged)
+	markMode(s.metrics(), ModeEngaged)
 	return s
 }
 
@@ -386,7 +392,7 @@ func (s *Supervised) Reset() {
 	s.failStreak, s.backoff, s.holdEpochs = 0, 0, 0
 	s.haveRequested = false
 	s.fallbackEpochs, s.healthyStreak = 0, 0
-	markMode(supTel.Load(), ModeEngaged)
+	markMode(s.metrics(), ModeEngaged)
 }
 
 // ObserveApply implements ApplyObserver: the harness reports the
@@ -402,7 +408,7 @@ func (s *Supervised) ObserveApply(cfg sim.Config, err error) {
 	}
 	s.applyOK = false
 	s.health.ApplyFailures++
-	if m := supTel.Load(); m != nil {
+	if m := s.metrics(); m != nil {
 		m.applyFailures.Inc()
 	}
 	s.failStreak++
@@ -416,7 +422,7 @@ func (s *Supervised) ObserveApply(cfg sim.Config, err error) {
 // controller (engaged), wait out an actuation backoff, or pin the safe
 // configuration (fallback).
 func (s *Supervised) Step(t sim.Telemetry) sim.Config {
-	m := supTel.Load()
+	m := s.metrics()
 	s.health.Epochs++
 	if m != nil {
 		m.epochs.Inc()
@@ -474,6 +480,7 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 			}
 		}
 		s.recordEpoch(t, cfg, flags|flightrec.FlagFallback, flightrec.ModeFallback)
+		s.publishObs(&t, cfg, s.obsFlags(clean), math.NaN())
 		return cfg
 	}
 
@@ -544,6 +551,7 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 			s.adapter.NoteGap()
 		}
 		s.recordEpoch(t, s.opts.Safe, flags|flightrec.FlagFallback, flightrec.ModeFallback)
+		s.publishObs(&t, s.opts.Safe, s.obsFlags(clean), math.NaN())
 		return s.opts.Safe
 	}
 
@@ -557,6 +565,7 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 		if s.holdEpochs > 0 {
 			s.holdEpochs--
 			s.recordEpoch(t, t.Config, flags|flightrec.FlagHold, flightrec.ModeEngaged)
+			s.publishObs(&t, t.Config, s.obsFlags(clean), math.NaN())
 			return t.Config
 		}
 		s.health.ApplyRetries++
@@ -570,6 +579,7 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 		}
 		s.holdEpochs = s.backoff
 		s.recordEpoch(t, s.lastRequested, flags|flightrec.FlagHold, flightrec.ModeEngaged)
+		s.publishObs(&t, s.lastRequested, s.obsFlags(clean), math.NaN())
 		return s.lastRequested
 	}
 
@@ -629,6 +639,7 @@ func (s *Supervised) Step(t sim.Telemetry) sim.Config {
 	}
 	s.lastRequested = cfg
 	s.haveRequested = true
+	s.publishObs(&t, cfg, s.obsFlags(clean), s.lastInnovNorm())
 	return cfg
 }
 
@@ -790,7 +801,7 @@ func (s *Supervised) relError(t sim.Telemetry) float64 {
 func (s *Supervised) enterFallback() {
 	s.mode = ModeFallback
 	s.health.Fallbacks++
-	m := supTel.Load()
+	m := s.metrics()
 	if m != nil {
 		m.toFallback.Inc()
 	}
@@ -813,7 +824,7 @@ func (s *Supervised) reengage() {
 	s.inner.SetTargets(s.ipsTarget, s.powerTarget)
 	s.mode = ModeEngaged
 	s.health.Reengagements++
-	m := supTel.Load()
+	m := s.metrics()
 	if m != nil {
 		m.toEngaged.Inc()
 	}

@@ -25,4 +25,8 @@ func RegisterGoMetrics(r *Registry) {
 		mem(func(ms *runtime.MemStats) float64 { return float64(ms.Sys) }))
 	r.GaugeFunc("go_memstats_gc_total", "completed GC cycles",
 		mem(func(ms *runtime.MemStats) float64 { return float64(ms.NumGC) }))
+	r.GaugeFunc("go_memstats_heap_objects", "number of allocated heap objects",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.HeapObjects) }))
+	r.GaugeFunc("go_memstats_gc_pause_total_seconds", "cumulative GC stop-the-world pause time",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.PauseTotalNs) / 1e9 }))
 }

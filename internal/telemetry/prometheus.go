@@ -2,26 +2,23 @@ package telemetry
 
 import (
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 // WritePrometheus renders every registered instrument in the Prometheus
-// text exposition format (version 0.0.4). Families appear in
-// registration order; instruments within a family in their own
-// registration order, so scrapes are deterministic and diffable.
+// text exposition format (version 0.0.4). The output order is fully
+// deterministic regardless of registration order: families sort by
+// name, and instruments within a family by their canonical rendered
+// label set — so scrapes are diffable across runs and the rollup view
+// aggregates over a stable series order.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if !r.Enabled() {
 		return nil
 	}
 	var sb strings.Builder
-	r.mu.Lock()
-	families := make([]*family, 0, len(r.order))
-	for _, name := range r.order {
-		families = append(families, r.families[name])
-	}
-	r.mu.Unlock()
-	for _, f := range families {
+	for _, f := range r.snapshotFamilies() {
 		sb.WriteString("# HELP ")
 		sb.WriteString(f.name)
 		sb.WriteByte(' ')
@@ -32,24 +29,51 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		sb.WriteByte(' ')
 		sb.WriteString(f.typ)
 		sb.WriteByte('\n')
-		// Snapshot the instrument list under the lock; rendering reads
-		// only atomics, so it happens outside.
-		r.mu.Lock()
-		keys := append([]string(nil), f.order...)
-		insts := make([]renderable, len(keys))
-		for i, k := range keys {
-			insts[i] = f.insts[k]
-		}
-		r.mu.Unlock()
-		for i, inst := range insts {
-			inst.render(&sb, f.name, keys[i])
+		for i, inst := range f.insts {
+			inst.render(&sb, f.name, f.keys[i])
 		}
 		if f.typ == "histogram" {
-			renderQuantiles(&sb, f.name, keys, insts)
+			renderQuantiles(&sb, f.name, f.keys, f.insts)
 		}
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err
+}
+
+// familySnapshot is a sorted, lock-free view of one family taken for
+// rendering: rendering itself reads only atomics, so it happens outside
+// the registry lock.
+type familySnapshot struct {
+	name, help, typ string
+	keys            []string
+	insts           []renderable
+	entries         []*entry // same order as keys; for the rollup view
+}
+
+// snapshotFamilies copies the family and instrument lists under the
+// lock, sorted by family name and canonical label set.
+func (r *Registry) snapshotFamilies() []familySnapshot {
+	s := r.shared
+	s.mu.Lock()
+	out := make([]familySnapshot, 0, len(s.families))
+	for _, f := range s.families {
+		fs := familySnapshot{name: f.name, help: f.help, typ: f.typ}
+		fs.keys = make([]string, 0, len(f.insts))
+		for k := range f.insts {
+			fs.keys = append(fs.keys, k)
+		}
+		sort.Strings(fs.keys)
+		fs.insts = make([]renderable, len(fs.keys))
+		fs.entries = make([]*entry, len(fs.keys))
+		for i, k := range fs.keys {
+			fs.insts[i] = f.insts[k].inst
+			fs.entries[i] = f.insts[k]
+		}
+		out = append(out, fs)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
 }
 
 // quantileExports are the quantiles surfaced for every histogram.

@@ -113,18 +113,54 @@ func L(name, value string) Label { return Label{Name: name, Value: value} }
 // A nil *Registry and the Nop() registry are both valid: every
 // constructor returns a no-op instrument and WritePrometheus writes
 // nothing, so instrumented code never needs nil checks.
+//
+// A Registry value is a handle: Scope derives child handles that share
+// the same instrument store but attach a fixed label set to everything
+// registered through them. All handles render the same exposition.
 type Registry struct {
 	nop bool
 
-	mu       sync.Mutex
-	order    []string // family registration order
-	families map[string]*family
+	// scope is this handle's copy-on-attach label set, prepended to
+	// every instrument registered through it; scopeKey is its rendered
+	// canonical form ("" for the root handle).
+	scope    []Label
+	scopeKey string
+
+	shared *regShared
 }
+
+// regShared is the instrument store behind every handle of one registry.
+type regShared struct {
+	mu       sync.Mutex
+	families map[string]*family
+
+	// Scope bookkeeping for bounded per-loop cardinality: scopes tracks
+	// every label set attached via Scope with an LRU sequence number and
+	// the instrument keys it registered, so the least recently attached
+	// scope's series can be evicted when scopeLimit is exceeded.
+	scopeLimit int
+	scopeSeq   uint64
+	scopes     map[string]*scopeEntry
+}
+
+type scopeEntry struct {
+	seq  uint64
+	keys []instKey
+}
+
+// instKey identifies one instrument inside one family.
+type instKey struct{ family, key string }
 
 type family struct {
 	name, help, typ string
-	order           []string // instrument key order
-	insts           map[string]renderable
+	insts           map[string]*entry
+}
+
+// entry is one registered instrument together with its full label set
+// (kept for the rollup view, which aggregates across label sets).
+type entry struct {
+	labels []Label
+	inst   renderable
 }
 
 // renderable is an instrument (or func gauge) that can render its
@@ -135,7 +171,90 @@ type renderable interface {
 
 // NewRegistry returns an empty live registry.
 func NewRegistry() *Registry {
-	return &Registry{families: make(map[string]*family)}
+	return &Registry{shared: &regShared{
+		families: make(map[string]*family),
+		scopes:   make(map[string]*scopeEntry),
+	}}
+}
+
+// Scope returns a child handle that registers every instrument with the
+// given labels prepended (after any labels this handle already carries —
+// scopes nest). The label set is copied on attach; the child shares the
+// parent's instrument store, so one WritePrometheus serves every scope.
+// Attaching a scope refreshes its LRU recency (see SetScopeLimit).
+// Scoping a nil or Nop registry returns the receiver unchanged.
+func (r *Registry) Scope(labels ...Label) *Registry {
+	if !r.Enabled() || len(labels) == 0 {
+		return r
+	}
+	for _, l := range labels {
+		checkName(l.Name)
+	}
+	sc := make([]Label, 0, len(r.scope)+len(labels))
+	sc = append(append(sc, r.scope...), labels...)
+	child := &Registry{scope: sc, scopeKey: renderLabels(sc), shared: r.shared}
+	s := r.shared
+	s.mu.Lock()
+	s.touchScopeLocked(child.scopeKey)
+	s.evictScopesLocked()
+	s.mu.Unlock()
+	return child
+}
+
+// ScopeLabels returns a copy of the labels this handle attaches.
+func (r *Registry) ScopeLabels() []Label {
+	return append([]Label(nil), r.scope...)
+}
+
+// SetScopeLimit bounds the number of live scopes: when more than n
+// distinct scope label sets hold instruments, the least recently
+// attached scope's series are evicted from the exposition (the handle
+// itself keeps working — its instruments are simply re-created on next
+// registration, restarting their series). n <= 0 removes the bound.
+func (r *Registry) SetScopeLimit(n int) {
+	if !r.Enabled() {
+		return
+	}
+	s := r.shared
+	s.mu.Lock()
+	s.scopeLimit = n
+	s.evictScopesLocked()
+	s.mu.Unlock()
+}
+
+// touchScopeLocked creates or refreshes the LRU entry for a scope key.
+func (s *regShared) touchScopeLocked(key string) *scopeEntry {
+	e := s.scopes[key]
+	if e == nil {
+		e = &scopeEntry{}
+		s.scopes[key] = e
+	}
+	s.scopeSeq++
+	e.seq = s.scopeSeq
+	return e
+}
+
+// evictScopesLocked drops least-recently-attached scopes until the
+// count fits the limit, removing their instruments from the store.
+func (s *regShared) evictScopesLocked() {
+	for s.scopeLimit > 0 && len(s.scopes) > s.scopeLimit {
+		var victimKey string
+		var victim *scopeEntry
+		for k, e := range s.scopes {
+			if victim == nil || e.seq < victim.seq {
+				victimKey, victim = k, e
+			}
+		}
+		for _, ik := range victim.keys {
+			if f := s.families[ik.family]; f != nil {
+				delete(f.insts, ik.key)
+				if len(f.insts) == 0 {
+					delete(s.families, ik.family)
+				}
+			}
+		}
+		delete(s.scopes, victimKey)
+	}
 }
 
 // nopRegistry is the shared disabled registry.
@@ -202,7 +321,7 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 	return r.register(name, help, "histogram", labels, h).(Histogram)
 }
 
-// register adds inst under (name, labels), returning the existing
+// register adds inst under (name, scope+labels), returning the existing
 // instrument when one is already registered with the same identity.
 // Registering the same name with a different metric type is a
 // programming error and panics.
@@ -211,22 +330,31 @@ func (r *Registry) register(name, help, typ string, labels []Label, inst rendera
 	for _, l := range labels {
 		checkName(l.Name)
 	}
-	key := renderLabels(labels)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	f := r.families[name]
+	full := labels
+	if len(r.scope) > 0 {
+		full = make([]Label, 0, len(r.scope)+len(labels))
+		full = append(append(full, r.scope...), labels...)
+	}
+	key := renderLabels(full)
+	s := r.shared
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.families[name]
 	if f == nil {
-		f = &family{name: name, help: help, typ: typ, insts: make(map[string]renderable)}
-		r.families[name] = f
-		r.order = append(r.order, name)
+		f = &family{name: name, help: help, typ: typ, insts: make(map[string]*entry)}
+		s.families[name] = f
 	} else if f.typ != typ {
 		panic(fmt.Sprintf("telemetry: %s registered as %s, requested as %s", name, f.typ, typ))
 	}
 	if have, ok := f.insts[key]; ok {
-		return have
+		return have.inst
 	}
-	f.insts[key] = inst
-	f.order = append(f.order, key)
+	f.insts[key] = &entry{labels: append([]Label(nil), full...), inst: inst}
+	if r.scopeKey != "" {
+		e := s.touchScopeLocked(r.scopeKey)
+		e.keys = append(e.keys, instKey{family: name, key: key})
+		s.evictScopesLocked()
+	}
 	return inst
 }
 
@@ -265,13 +393,47 @@ func renderLabels(labels []Label) string {
 	return sb.String()
 }
 
+// unescapeLabelValue inverts escapeLabelValue. ok is false when s is
+// not a valid escaped label value (a dangling or unknown escape).
+func unescapeLabelValue(s string) (string, bool) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, true
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			sb.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", false
+		}
+		switch s[i] {
+		case '\\':
+			sb.WriteByte('\\')
+		case '"':
+			sb.WriteByte('"')
+		case 'n':
+			sb.WriteByte('\n')
+		default:
+			return "", false
+		}
+	}
+	return sb.String(), true
+}
+
 func escapeLabelValue(v string) string {
 	if !strings.ContainsAny(v, "\\\"\n") {
 		return v
 	}
 	var sb strings.Builder
-	for _, c := range v {
-		switch c {
+	// Byte-wise, not rune-wise: the escapes are all ASCII, and a label
+	// value that is not valid UTF-8 must pass through unmangled rather
+	// than have its bytes rewritten to replacement characters.
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
 		case '\\':
 			sb.WriteString(`\\`)
 		case '"':
@@ -279,7 +441,7 @@ func escapeLabelValue(v string) string {
 		case '\n':
 			sb.WriteString(`\n`)
 		default:
-			sb.WriteRune(c)
+			sb.WriteByte(c)
 		}
 	}
 	return sb.String()

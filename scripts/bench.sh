@@ -5,10 +5,17 @@
 #   BENCH=Telemetry ./scripts/bench.sh     # only the overhead benches
 #   BENCHTIME=2s OUT=bench.json ./scripts/bench.sh
 #   PARALLEL=1 ./scripts/bench.sh          # engine benches -> BENCH_parallel.json
+#   OBS=1 ./scripts/bench.sh               # observability overhead -> BENCH_obs.json
 #
 # The JSON stream is `go test -json` output: one object per line, with
 # benchmark results in the Output fields of "output" actions. Compare
 # runs with `benchstat` or grep for the ns/op lines directly.
+#
+# OBS=1 runs only the observability-plane overhead benchmarks: the
+# supervised controller step at every attachment tier (detached /
+# fleet / fleet+metrics / fleet+events — events-off must stay at
+# 0 allocs/op, also gated by TestObsOffStepAllocFree) and the full
+# experiment suite with the plane detached vs attached (<5% budget).
 #
 # PARALLEL=1 runs only the parallel experiment engine benchmarks:
 # BenchmarkExpAll (the full suite at 0/1/4 workers) and the runner's
@@ -22,7 +29,11 @@ cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-1x}"
 
-if [ "${PARALLEL:-0}" = "1" ]; then
+if [ "${OBS:-0}" = "1" ]; then
+    out="${OUT:-BENCH_obs.json}"
+    echo "== go test -bench 'SupervisedStepObs|ObsSuiteOverhead' -benchtime $benchtime -> $out"
+    go test -run '^$' -bench 'SupervisedStepObs|ObsSuiteOverhead' -benchmem -benchtime "$benchtime" -json . > "$out"
+elif [ "${PARALLEL:-0}" = "1" ]; then
     out="${OUT:-BENCH_parallel.json}"
     echo "== go test -bench 'ExpAll|RunnerWallClock' -benchtime $benchtime -> $out"
     go test -run '^$' -bench 'ExpAll|RunnerWallClock' -benchmem -benchtime "$benchtime" -json . ./internal/runner > "$out"
