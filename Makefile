@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-obs benchcmp cover fuzz golden golden-doctor
+.PHONY: check vet build test race bench bench-obs bench-batch benchcmp cover fuzz golden golden-doctor
 
 # check is the default verify flow: vet + build + race-enabled tests.
 check:
@@ -19,6 +19,8 @@ fuzz:
 	$(GO) test ./internal/sysid/ -run '^$$' -fuzz FuzzQuantizeTo -fuzztime $(or $(FUZZTIME),10s)
 	$(GO) test ./internal/experiments/ -run '^$$' -fuzz 'FuzzSteadyStateEpoch$$' -fuzztime $(or $(FUZZTIME),10s)
 	$(GO) test ./internal/experiments/ -run '^$$' -fuzz FuzzSteadyStateEpochEMA -fuzztime $(or $(FUZZTIME),10s)
+	$(GO) test ./internal/batch/ -run '^$$' -fuzz FuzzBatchVsScalarStep -fuzztime $(or $(FUZZTIME),10s)
+	$(GO) test ./internal/batch/ -run '^$$' -fuzz FuzzQuantHysteresis -fuzztime $(or $(FUZZTIME),10s)
 
 # golden re-records the golden regression CSVs after an intentional
 # output change; review the diff like code.
@@ -43,6 +45,19 @@ bench:
 # scopes+events on) and writes BENCH_obs.json.
 bench-obs:
 	OBS=1 ./scripts/bench.sh
+
+# bench-batch re-measures the batched fleet backend into
+# BENCH_batch_new.json and gates it against the committed
+# BENCH_batch.json: the batch kernel must stay at 0 allocs/op and the
+# scalar fleet's ns/lanestep over the batch engine's must stay >= 5x
+# (MIN_SPEEDUP overrides the floor, e.g. for noisy shared runners).
+MIN_SPEEDUP ?= 5
+bench-batch:
+	BATCH=1 BENCHTIME=$(or $(BENCHTIME),3s) OUT=BENCH_batch_new.json ./scripts/bench.sh
+	$(GO) run ./cmd/benchcmp -gate 'BenchmarkBatchStep$$' \
+		-speedup BenchmarkFleetScalarStep1024/BenchmarkFleetBatchStep1024 \
+		-speedup-unit ns/lanestep -min-speedup $(MIN_SPEEDUP) \
+		BENCH_batch.json BENCH_batch_new.json
 
 # benchcmp re-runs the engine benchmarks into BENCH_alloc.json and
 # diffs them against the committed BENCH_parallel.json baseline,

@@ -1,12 +1,22 @@
 // benchcmp compares two benchmark captures produced by scripts/bench.sh
 // (`go test -json` streams) and prints a benchstat-style delta table:
 //
-//	benchcmp [-gate pattern] [-max-regress pct] old.json new.json
+//	benchcmp [-gate pattern] [-max-regress pct]
+//	         [-speedup base/contender] [-speedup-unit unit] [-min-speedup x]
+//	         old.json new.json
 //
 // It exits non-zero when any benchmark matching -gate regressed its
-// allocs/op by more than -max-regress percent — the CI guard that keeps
+// allocs/op by more than -max-regress percent (a zero-allocs baseline
+// gates absolutely: any new allocation fails) — the CI guard that keeps
 // the steady-state loop allocation-free. Benchmarks present in only one
 // file are listed but never gate.
+//
+// -speedup names a baseline and a contender benchmark ("BenchmarkA/
+// BenchmarkB"); the run then also fails unless, within the NEW capture,
+// baseline's -speedup-unit metric divided by contender's is at least
+// -min-speedup. This is the throughput gate for the batched fleet
+// backend (make bench-batch): the scalar fleet's ns/lanestep over the
+// batch engine's must stay >= 5x.
 package main
 
 import (
@@ -134,6 +144,9 @@ func human(v float64) string {
 func main() {
 	gate := flag.String("gate", "^BenchmarkExpAll", "regexp of benchmarks whose allocs/op regression fails the run")
 	maxRegress := flag.Float64("max-regress", 20, "allowed allocs/op regression percent before exiting non-zero")
+	speedup := flag.String("speedup", "", "baseline/contender benchmark pair whose metric ratio in the new capture must meet -min-speedup")
+	speedupUnit := flag.String("speedup-unit", "ns/op", "metric unit the -speedup ratio is computed from")
+	minSpeedup := flag.Float64("min-speedup", 0, "required baseline/contender ratio (0 disables the speedup gate)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchcmp [-gate re] [-max-regress pct] old.json new.json")
@@ -186,8 +199,12 @@ func main() {
 			}
 			mark := ""
 			if u == "allocs/op" && gateRe.MatchString(n) {
-				if ov > 0 && 100*(nv-ov)/ov > *maxRegress {
+				switch {
+				case ov > 0 && 100*(nv-ov)/ov > *maxRegress:
 					mark = "  << FAIL (allocs/op regression > " + strconv.FormatFloat(*maxRegress, 'g', -1, 64) + "%)"
+					failed = true
+				case ov == 0 && nv > 0:
+					mark = "  << FAIL (allocation-free baseline now allocates)"
 					failed = true
 				}
 			}
@@ -195,7 +212,44 @@ func main() {
 		}
 	}
 	w.Flush()
+	if *speedup != "" && *minSpeedup > 0 {
+		if !checkSpeedup(newRes, *speedup, *speedupUnit, *minSpeedup) {
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// checkSpeedup evaluates the throughput gate on the fresh capture:
+// metric(baseline)/metric(contender) must be at least min.
+func checkSpeedup(res map[string]result, pair, unit string, min float64) bool {
+	names := strings.SplitN(pair, "/", 2)
+	if len(names) != 2 {
+		fmt.Fprintf(os.Stderr, "benchcmp: bad -speedup %q, want baseline/contender\n", pair)
+		return false
+	}
+	base, okB := res[names[0]]
+	cont, okC := res[names[1]]
+	if !okB || !okC {
+		fmt.Fprintf(os.Stderr, "benchcmp: -speedup benchmarks missing from new capture (%s: %v, %s: %v)\n",
+			names[0], okB, names[1], okC)
+		return false
+	}
+	bv, okB := base.metrics[unit]
+	cv, okC := cont.metrics[unit]
+	if !okB || !okC || cv == 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: -speedup unit %q unavailable or zero\n", unit)
+		return false
+	}
+	ratio := bv / cv
+	status := "ok"
+	pass := ratio >= min
+	if !pass {
+		status = "FAIL"
+	}
+	fmt.Printf("speedup %s vs %s (%s): %.2fx (>= %gx required)  %s\n",
+		names[0], names[1], unit, ratio, min, status)
+	return pass
 }

@@ -1,0 +1,312 @@
+package batch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mimoctl/internal/core"
+	"mimoctl/internal/sim"
+	"mimoctl/internal/workloads"
+)
+
+// ---- shared designed controllers (designing is the expensive part) ----
+
+var designCache = struct {
+	sync.Mutex
+	ctrl map[bool]*core.MIMOController
+	err  map[bool]error
+}{ctrl: map[bool]*core.MIMOController{}, err: map[bool]error{}}
+
+// designedController returns a memoized paper-flow controller for the
+// requested input shape. Tests clone it; the cached instance is never
+// stepped.
+func designedController(t testing.TB, threeInput bool) *core.MIMOController {
+	t.Helper()
+	designCache.Lock()
+	defer designCache.Unlock()
+	if c, ok := designCache.ctrl[threeInput]; ok {
+		return c
+	}
+	if err, ok := designCache.err[threeInput]; ok {
+		t.Fatalf("DesignMIMO (cached failure): %v", err)
+	}
+	var training []sim.Workload
+	for _, p := range workloads.TrainingSet() {
+		training = append(training, p)
+	}
+	val1, err := workloads.ByName("h264ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	val2, err := workloads.ByName("tonto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, _, err := core.DesignMIMO(core.DesignSpec{
+		ThreeInput:   threeInput,
+		Training:     training,
+		Validation:   []sim.Workload{val1, val2},
+		EpochsPerApp: 1500,
+		Seed:         5,
+	})
+	if err != nil {
+		designCache.err[threeInput] = err
+		t.Fatalf("DesignMIMO: %v", err)
+	}
+	designCache.ctrl[threeInput] = ctrl
+	return ctrl
+}
+
+// ---- bit-level state comparison ----
+
+// floatsIdentical compares float64 slices bit for bit, except that any
+// NaN equals any NaN: a NaN's payload/sign can differ between `-1*x`
+// and `-x` codegen, and no payload bit can ever change a control
+// decision (comparisons involving NaN are payload-independent and the
+// quantizer holds the current setting on NaN). Signed zeros are NOT
+// conflated — (+0 vs -0) is a real divergence and fails.
+func floatsIdentical(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) &&
+			!(math.IsNaN(a[i]) && math.IsNaN(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// requireSameRuntime fails the test unless two controller snapshots
+// carry bit-identical runtime state.
+func requireSameRuntime(t *testing.T, lane string, got, want core.BatchState) {
+	t.Helper()
+	if got.Cur != want.Cur || got.HaveCur != want.HaveCur {
+		t.Fatalf("%s: config (%+v,%v) != scalar (%+v,%v)", lane, got.Cur, got.HaveCur, want.Cur, want.HaveCur)
+	}
+	if got.Health != want.Health {
+		t.Fatalf("%s: health %+v != scalar %+v", lane, got.Health, want.Health)
+	}
+	if math.Float64bits(got.IPSTarget) != math.Float64bits(want.IPSTarget) ||
+		math.Float64bits(got.PowerTarget) != math.Float64bits(want.PowerTarget) {
+		t.Fatalf("%s: targets (%v,%v) != scalar (%v,%v)", lane, got.IPSTarget, got.PowerTarget, want.IPSTarget, want.PowerTarget)
+	}
+	pairs := []struct {
+		name string
+		g, w []float64
+	}{
+		{"xhat", got.LQG.Xhat, want.LQG.Xhat},
+		{"uPrev", got.LQG.UPrev, want.LQG.UPrev},
+		{"zInt", got.LQG.ZInt, want.LQG.ZInt},
+		{"lastExcess", got.LQG.LastExcess, want.LQG.LastExcess},
+		{"lastInnov", got.LQG.LastInnov, want.LQG.LastInnov},
+		{"ref", got.LQG.Ref, want.LQG.Ref},
+		{"xss", got.LQG.Xss, want.LQG.Xss},
+		{"uss", got.LQG.Uss, want.LQG.Uss},
+	}
+	for _, p := range pairs {
+		if !floatsIdentical(p.g, p.w) {
+			t.Fatalf("%s: %s %v != scalar %v", lane, p.name, p.g, p.w)
+		}
+	}
+}
+
+// randTelemetry draws one epoch of synthetic telemetry: mostly plausible
+// operating points, with a tail of extreme magnitudes and non-finite
+// sensor values (the scalar path steps through those too, and the batch
+// path must reproduce it bit for bit).
+func randTelemetry(rng *rand.Rand, epoch int, cfg sim.Config) sim.Telemetry {
+	tel := sim.Telemetry{Epoch: epoch, Config: cfg}
+	switch rng.Intn(50) {
+	case 0:
+		tel.IPS = math.NaN()
+		tel.PowerW = rng.Float64() * 20
+	case 1:
+		tel.IPS = rng.Float64() * 4
+		tel.PowerW = math.Inf(1)
+	case 2:
+		tel.IPS = math.Inf(-1)
+		tel.PowerW = math.NaN()
+	case 3:
+		tel.IPS = rng.NormFloat64() * 1e9
+		tel.PowerW = rng.NormFloat64() * 1e9
+	default:
+		tel.IPS = rng.Float64() * 5
+		tel.PowerW = rng.Float64() * 25
+	}
+	return tel
+}
+
+// scalarLane pairs a batch lane with the scalar twin it was loaded from.
+type scalarLane struct {
+	id   int
+	ctrl *core.MIMOController
+	cfg  sim.Config // configuration fed back as next epoch's telemetry
+}
+
+// TestBatchFleetBitIdentical is the differential harness of record: a
+// mixed fleet of 2- and 3-input lanes, each seeded from a scalar twin
+// warmed up to a distinct runtime state, stepped for thousands of
+// randomized epochs (including non-finite telemetry, target changes,
+// invalid-target rejections, and resets) with the scalar twin stepped in
+// lockstep. Every epoch must pick identical configurations; at regular
+// intervals the full runtime state must extract bit-identically.
+func TestBatchFleetBitIdentical(t *testing.T) {
+	base3 := designedController(t, true)
+	base2 := designedController(t, false)
+	rng := rand.New(rand.NewSource(42))
+
+	const nLanes = 16
+	twins := make([]*core.MIMOController, nLanes)
+	for i := range twins {
+		var c *core.MIMOController
+		if i%2 == 0 {
+			c = base3.Clone()
+		} else {
+			c = base2.Clone()
+		}
+		c.Reset()
+		c.SetTargets(1+rng.Float64()*3, 1+rng.Float64()*20)
+		// Warm each twin to a distinct state before snapshotting.
+		cfg := sim.MidrangeConfig()
+		for k, warm := 0, rng.Intn(200); k < warm; k++ {
+			cfg = c.Step(randTelemetry(rng, k, cfg))
+		}
+		twins[i] = c
+	}
+
+	e, err := FromControllers(twins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != nLanes || e.Slots() != nLanes {
+		t.Fatalf("Len=%d Slots=%d, want %d", e.Len(), e.Slots(), nLanes)
+	}
+
+	// The telemetry Config field only matters before a lane's first step
+	// (haveCur), and both paths see the same telemetry, so any fixed
+	// starting configuration keeps the pair in lockstep.
+	lanes := make([]scalarLane, nLanes)
+	for i := range lanes {
+		lanes[i] = scalarLane{id: i, ctrl: twins[i], cfg: sim.MidrangeConfig()}
+	}
+
+	tels := make([]sim.Telemetry, nLanes)
+	outs := make([]sim.Config, nLanes)
+
+	const epochs = 4000
+	for ep := 0; ep < epochs; ep++ {
+		// Occasional target changes (some invalid: both sides must count
+		// the rejection and keep the previous references) and resets.
+		for i := range lanes {
+			switch rng.Intn(400) {
+			case 0:
+				ips, pow := rng.Float64()*4, rng.Float64()*25
+				lanes[i].ctrl.SetTargets(ips, pow)
+				_ = e.SetTargets(lanes[i].id, ips, pow)
+			case 1:
+				bad := []float64{math.NaN(), math.Inf(1), -1}[rng.Intn(3)]
+				lanes[i].ctrl.SetTargets(bad, 2)
+				_ = e.SetTargets(lanes[i].id, bad, 2)
+			case 2:
+				lanes[i].ctrl.Reset()
+				e.Reset(lanes[i].id)
+				lanes[i].cfg = sim.MidrangeConfig()
+			}
+			tels[i] = randTelemetry(rng, ep, lanes[i].cfg)
+		}
+		if err := e.StepAll(tels, outs); err != nil {
+			t.Fatal(err)
+		}
+		for i := range lanes {
+			want := lanes[i].ctrl.Step(tels[i])
+			if outs[i] != want {
+				t.Fatalf("epoch %d lane %d: batch %+v, scalar %+v", ep, i, outs[i], want)
+			}
+			lanes[i].cfg = outs[i]
+		}
+		if ep%250 == 249 {
+			for i := range lanes {
+				dst := lanes[i].ctrl.Clone()
+				if err := e.ExtractTo(lanes[i].id, dst); err != nil {
+					t.Fatal(err)
+				}
+				requireSameRuntime(t, fmt.Sprintf("lane %d epoch %d", i, ep), dst.BatchState(), lanes[i].ctrl.BatchState())
+			}
+		}
+	}
+
+	// Targets/Health/Config accessors agree at the end.
+	for i := range lanes {
+		gi, gp := e.Targets(lanes[i].id)
+		wi, wp := lanes[i].ctrl.Targets()
+		if gi != wi || gp != wp {
+			t.Fatalf("lane %d: targets (%v,%v) != (%v,%v)", i, gi, gp, wi, wp)
+		}
+		if e.Health(lanes[i].id) != lanes[i].ctrl.Health() {
+			t.Fatalf("lane %d: health %+v != %+v", i, e.Health(lanes[i].id), lanes[i].ctrl.Health())
+		}
+		if e.Config(lanes[i].id) != lanes[i].cfg {
+			t.Fatalf("lane %d: config %+v != %+v", i, e.Config(lanes[i].id), lanes[i].cfg)
+		}
+	}
+}
+
+// TestBatchClosedLoopBitIdentical drives a scalar controller and its
+// batch lane through two identically seeded processor simulations — the
+// real closed loop, where one wrong ULP would compound — and requires
+// identical configurations every epoch and identical final state.
+func TestBatchClosedLoopBitIdentical(t *testing.T) {
+	for _, three := range []bool{true, false} {
+		name := "two-input"
+		if three {
+			name = "three-input"
+		}
+		t.Run(name, func(t *testing.T) {
+			w, err := workloads.ByName("namd")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := designedController(t, three).Clone()
+			sc.Reset()
+			sc.SetTargets(core.DefaultIPSTarget, core.DefaultPowerTarget)
+
+			e, id, err := FromController(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			procA, err := sim.NewProcessor(w, sim.DefaultProcessorOptions(), 77)
+			if err != nil {
+				t.Fatal(err)
+			}
+			procB, err := sim.NewProcessor(w, sim.DefaultProcessorOptions(), 77)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			telA := procA.Step()
+			telB := procB.Step()
+			for ep := 0; ep < 2500; ep++ {
+				cfgA := sc.Step(telA)
+				cfgB := e.StepLane(id, telB)
+				if cfgA != cfgB {
+					t.Fatalf("epoch %d: scalar %+v, batch %+v", ep, cfgA, cfgB)
+				}
+				procA.Apply(cfgA)
+				procB.Apply(cfgB)
+				telA = procA.Step()
+				telB = procB.Step()
+			}
+			dst := sc.Clone()
+			if err := e.ExtractTo(id, dst); err != nil {
+				t.Fatal(err)
+			}
+			requireSameRuntime(t, "closed-loop", dst.BatchState(), sc.BatchState())
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package batch
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"mimoctl/internal/sim"
+)
+
+// FuzzBatchVsScalarStep is the differential fuzz target: raw bytes are
+// decoded into a telemetry stream (arbitrary float64 bit patterns — NaN
+// and Inf sentinels included — plus target changes and resets), and a
+// scalar controller and its batch lane consume the stream in lockstep.
+// Any configuration divergence, or any non-NaN-equivalent bit difference
+// in the extracted runtime state, is a crash.
+func FuzzBatchVsScalarStep(f *testing.F) {
+	f.Add([]byte{0}, true)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17}, false)
+	f.Add(append(
+		binary.LittleEndian.AppendUint64(nil, math.Float64bits(math.NaN())),
+		binary.LittleEndian.AppendUint64(nil, math.Float64bits(math.Inf(1)))...), true)
+
+	f.Fuzz(func(t *testing.T, data []byte, three bool) {
+		sc := designedController(t, three).Clone()
+		sc.Reset()
+		sc.SetTargets(2.5, 15)
+		e, id, err := FromController(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Decode the byte stream into epochs: one opcode byte, then up
+		// to 16 bytes of float64 payloads (zero-padded at the tail).
+		f64 := func(off int) float64 {
+			var b [8]byte
+			for i := 0; i < 8 && off+i < len(data); i++ {
+				b[i] = data[off+i]
+			}
+			return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+		}
+		cfg := sim.MidrangeConfig()
+		epochs := 0
+		for off := 0; off < len(data) && epochs < 256; off += 17 {
+			op := data[off]
+			a, b := f64(off+1), f64(off+9)
+			switch op % 8 {
+			case 0: // target change, both sides (possibly rejected by both)
+				sc.SetTargets(a, b)
+				_ = e.SetTargets(id, a, b)
+			case 1: // reset, both sides
+				sc.Reset()
+				e.Reset(id)
+				cfg = sim.MidrangeConfig()
+			default:
+				tel := sim.Telemetry{Epoch: epochs, IPS: a, PowerW: b, Config: cfg}
+				got := e.StepLane(id, tel)
+				want := sc.Step(tel)
+				if got != want {
+					t.Fatalf("epoch %d: batch %+v, scalar %+v (IPS=%v PowerW=%v)", epochs, got, want, a, b)
+				}
+				cfg = got
+			}
+			epochs++
+		}
+
+		dst := sc.Clone()
+		if err := e.ExtractTo(id, dst); err != nil {
+			t.Fatal(err)
+		}
+		requireSameRuntime(t, "fuzz", dst.BatchState(), sc.BatchState())
+	})
+}

@@ -1,0 +1,544 @@
+package batch
+
+import (
+	"math"
+
+	"mimoctl/internal/core"
+	"mimoctl/internal/sim"
+)
+
+// The step kernels below are line-for-line transcriptions of the scalar
+// path — core.MIMOController.Step wrapping lqg.Controller.Step and
+// ObserveApplied — with every mat call replaced by its fully unrolled
+// fixed-shape expansion. Bit-identity rests on three disciplines:
+//
+//   - every multiply-accumulate is written as the same sequence of
+//     `s += m * x` statements mat.MulVecInto executes, so no term is
+//     reassociated or fused (Go does not auto-FMA on amd64, and the
+//     textual order pins the rounding order everywhere else);
+//   - negations that the scalar path computes as (-1)·v via
+//     mat.VecScaleInto are written `-1 * v` here, and the anti-windup
+//     saturation test keeps the scalar path's math.Sqrt comparison;
+//   - quantization reuses the exact hysteresis-scan semantics (see
+//     quant.go) including NaN/Inf hold-current sentinels.
+//
+// The differential harness (diff_test.go, FuzzBatchVsScalarStep)
+// enforces all of this against the real scalar implementation.
+
+// satThreshold is the largest float64 x with math.Sqrt(x) <= 1e-12,
+// found once by bisection over the bit patterns. Hardware sqrt is
+// correctly rounded and therefore monotone non-decreasing, so the
+// scalar path's saturation test math.Sqrt(nrm) > 1e-12 is exactly
+// equivalent to nrm > satThreshold for every input including NaN and
+// +Inf (both comparisons are false for NaN); the kernels use the
+// compare to keep the ~20-cycle sqrt off the fleet hot path.
+// TestSatThresholdMatchesSqrt pins the equivalence around the boundary.
+var satThreshold = func() float64 {
+	lo, hi := math.Float64bits(0), math.Float64bits(1e-23)
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if math.Sqrt(math.Float64frombits(mid)) <= 1e-12 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Float64frombits(lo)
+}()
+
+// step3 advances one 3-input lane (frequency, cache ways, ROB).
+func (e *Engine) step3(id int, t *sim.Telemetry) sim.Config {
+	if !e.haveCur[id] {
+		e.cur[id] = t.Config
+		e.haveCur[id] = true
+	}
+	cur := e.cur[id]
+
+	A := e.a[id*strideA : id*strideA+16 : id*strideA+16]
+	B := e.b[id*strideB : id*strideB+12 : id*strideB+12]
+	C := e.c[id*strideC : id*strideC+8 : id*strideC+8]
+	kx := e.kx[id*strideKx : id*strideKx+12 : id*strideKx+12]
+	ku := e.ku[id*strideKu : id*strideKu+9 : id*strideKu+9]
+	kz := e.kz[id*strideKz : id*strideKz+6 : id*strideKz+6]
+	lc := e.lc[id*strideLc : id*strideLc+8 : id*strideLc+8]
+	u0 := e.u0[id*strideU : id*strideU+3 : id*strideU+3]
+	y0a := e.y0[id*strideY : id*strideY+2 : id*strideY+2]
+	xhat := e.xhat[id*strideX : id*strideX+4 : id*strideX+4]
+	xss := e.xss[id*strideX : id*strideX+4 : id*strideX+4]
+	uPrev := e.uPrev[id*strideU : id*strideU+3 : id*strideU+3]
+	uss := e.uss[id*strideU : id*strideU+3 : id*strideU+3]
+	lastExcess := e.lastExcess[id*strideU : id*strideU+3 : id*strideU+3]
+	zInt := e.zInt[id*strideY : id*strideY+2 : id*strideY+2]
+	ref := e.ref[id*strideY : id*strideY+2 : id*strideY+2]
+	lastInnov := e.lastInnov[id*strideY : id*strideY+2 : id*strideY+2]
+
+	// Telemetry to deviation coordinates.
+	y0 := t.IPS - y0a[0]
+	y1 := t.PowerW - y0a[1]
+
+	// Measurement update: innov = y - C·x̂, x̂ᶜ = x̂ + Lc·innov.
+	var cy0, cy1 float64
+	cy0 += C[0] * xhat[0]
+	cy0 += C[1] * xhat[1]
+	cy0 += C[2] * xhat[2]
+	cy0 += C[3] * xhat[3]
+	cy1 += C[4] * xhat[0]
+	cy1 += C[5] * xhat[1]
+	cy1 += C[6] * xhat[2]
+	cy1 += C[7] * xhat[3]
+	in0 := y0 - cy0
+	in1 := y1 - cy1
+	lastInnov[0], lastInnov[1] = in0, in1
+	var l0, l1, l2, l3 float64
+	l0 += lc[0] * in0
+	l0 += lc[1] * in1
+	l1 += lc[2] * in0
+	l1 += lc[3] * in1
+	l2 += lc[4] * in0
+	l2 += lc[5] * in1
+	l3 += lc[6] * in0
+	l3 += lc[7] * in1
+	xc0 := xhat[0] + l0
+	xc1 := xhat[1] + l1
+	xc2 := xhat[2] + l2
+	xc3 := xhat[3] + l3
+
+	// ΔU feedback: v = -Kx·(xᶜ-x_ss) - Ku·(u_prev-u_ss) - Kz·z.
+	dx0 := xc0 - xss[0]
+	dx1 := xc1 - xss[1]
+	dx2 := xc2 - xss[2]
+	dx3 := xc3 - xss[3]
+	du0 := uPrev[0] - uss[0]
+	du1 := uPrev[1] - uss[1]
+	du2 := uPrev[2] - uss[2]
+	var u0v, u1v, u2v float64
+	{
+		var kv float64
+		kv += kx[0] * dx0
+		kv += kx[1] * dx1
+		kv += kx[2] * dx2
+		kv += kx[3] * dx3
+		v := -1 * kv
+		var kv2 float64
+		kv2 += ku[0] * du0
+		kv2 += ku[1] * du1
+		kv2 += ku[2] * du2
+		v -= kv2
+		var kv3 float64
+		kv3 += kz[0] * zInt[0]
+		kv3 += kz[1] * zInt[1]
+		v -= kv3
+		u0v = uPrev[0] + v
+	}
+	{
+		var kv float64
+		kv += kx[4] * dx0
+		kv += kx[5] * dx1
+		kv += kx[6] * dx2
+		kv += kx[7] * dx3
+		v := -1 * kv
+		var kv2 float64
+		kv2 += ku[3] * du0
+		kv2 += ku[4] * du1
+		kv2 += ku[5] * du2
+		v -= kv2
+		var kv3 float64
+		kv3 += kz[2] * zInt[0]
+		kv3 += kz[3] * zInt[1]
+		v -= kv3
+		u1v = uPrev[1] + v
+	}
+	{
+		var kv float64
+		kv += kx[8] * dx0
+		kv += kx[9] * dx1
+		kv += kx[10] * dx2
+		kv += kx[11] * dx3
+		v := -1 * kv
+		var kv2 float64
+		kv2 += ku[6] * du0
+		kv2 += ku[7] * du1
+		kv2 += ku[8] * du2
+		v -= kv2
+		var kv3 float64
+		kv3 += kz[4] * zInt[0]
+		kv3 += kz[5] * zInt[1]
+		v -= kv3
+		u2v = uPrev[2] + v
+	}
+
+	// Conditional-integration anti-windup (z += r - y unless the error
+	// pushes into the unrealizable direction while saturated).
+	var nrm float64
+	nrm += lastExcess[0] * lastExcess[0]
+	nrm += lastExcess[1] * lastExcess[1]
+	nrm += lastExcess[2] * lastExcess[2]
+	saturated := e.antiWindup[id] && nrm > satThreshold // ≡ math.Sqrt(nrm) > 1e-12
+	{
+		ez := ref[0] - y0
+		skip := false
+		if saturated && ez != 0 {
+			push := 0.0
+			push += -kz[0] * ez * lastExcess[0]
+			push += -kz[2] * ez * lastExcess[1]
+			push += -kz[4] * ez * lastExcess[2]
+			skip = push > 0
+		}
+		if !skip {
+			zInt[0] += ez
+		}
+	}
+	{
+		ez := ref[1] - y1
+		skip := false
+		if saturated && ez != 0 {
+			push := 0.0
+			push += -kz[1] * ez * lastExcess[0]
+			push += -kz[3] * ez * lastExcess[1]
+			push += -kz[5] * ez * lastExcess[2]
+			skip = push > 0
+		}
+		if !skip {
+			zInt[1] += ez
+		}
+	}
+
+	// Time update: x̂ = A·xᶜ + B·u.
+	var nx0, nx1, nx2, nx3 float64
+	{
+		var ax float64
+		ax += A[0] * xc0
+		ax += A[1] * xc1
+		ax += A[2] * xc2
+		ax += A[3] * xc3
+		var bu float64
+		bu += B[0] * u0v
+		bu += B[1] * u1v
+		bu += B[2] * u2v
+		nx0 = ax + bu
+	}
+	{
+		var ax float64
+		ax += A[4] * xc0
+		ax += A[5] * xc1
+		ax += A[6] * xc2
+		ax += A[7] * xc3
+		var bu float64
+		bu += B[3] * u0v
+		bu += B[4] * u1v
+		bu += B[5] * u2v
+		nx1 = ax + bu
+	}
+	{
+		var ax float64
+		ax += A[8] * xc0
+		ax += A[9] * xc1
+		ax += A[10] * xc2
+		ax += A[11] * xc3
+		var bu float64
+		bu += B[6] * u0v
+		bu += B[7] * u1v
+		bu += B[8] * u2v
+		nx2 = ax + bu
+	}
+	{
+		var ax float64
+		ax += A[12] * xc0
+		ax += A[13] * xc1
+		ax += A[14] * xc2
+		ax += A[15] * xc3
+		var bu float64
+		bu += B[9] * u0v
+		bu += B[10] * u1v
+		bu += B[11] * u2v
+		nx3 = ax + bu
+	}
+
+	// Deviation -> absolute knob units, then quantize with hysteresis,
+	// and look up the applied level for the ObserveApplied feedback.
+	ua0 := u0v + u0[0]
+	ua1 := u1v + u0[1]
+	ua2 := (u2v + u0[2]) * core.ROBUnit
+	q := &e.q
+	var fi, ciAsc, ri int
+	var uq0, uq1, uq2 float64
+	if q.special {
+		fi, ciAsc, ri = q.quant3(cur, ua0, ua1, ua2)
+		uq0 = q.freqA[fi]
+		uq1 = q.cacheA[ciAsc]
+		uq2 = q.robA[ri] / core.ROBUnit
+	} else {
+		fi = q.quantFreq(cur.FreqIdx, ua0, core.ActuatorHysteresis)
+		ciAsc = q.quantCacheAsc(len(q.cache)-1-cur.CacheIdx, ua1, core.ActuatorHysteresis)
+		ri = q.quantROB(cur.ROBIdx, ua2, core.ActuatorHysteresis)
+		uq0 = q.freq[fi]
+		uq1 = q.cache[ciAsc]
+		uq2 = q.rob[ri] / core.ROBUnit
+	}
+	ci := len(q.cache) - 1 - ciAsc
+
+	// Actuator feedback (ObserveApplied): report the quantized input in
+	// deviation coordinates and redo the B·u part of the time update.
+	d0 := uq0 - u0[0] - u0v
+	d1 := uq1 - u0[1] - u1v
+	d2 := uq2 - u0[2] - u2v
+	{
+		var bd float64
+		bd += B[0] * d0
+		bd += B[1] * d1
+		bd += B[2] * d2
+		xhat[0] = nx0 + bd
+		bd = 0
+		bd += B[3] * d0
+		bd += B[4] * d1
+		bd += B[5] * d2
+		xhat[1] = nx1 + bd
+		bd = 0
+		bd += B[6] * d0
+		bd += B[7] * d1
+		bd += B[8] * d2
+		xhat[2] = nx2 + bd
+		bd = 0
+		bd += B[9] * d0
+		bd += B[10] * d1
+		bd += B[11] * d2
+		xhat[3] = nx3 + bd
+	}
+	lastExcess[0] = -1 * d0
+	lastExcess[1] = -1 * d1
+	lastExcess[2] = -1 * d2
+	uPrev[0] = uq0 - u0[0]
+	uPrev[1] = uq1 - u0[1]
+	uPrev[2] = uq2 - u0[2]
+
+	cfg := sim.Config{FreqIdx: fi, CacheIdx: ci, ROBIdx: ri}
+	e.cur[id] = cfg
+	return cfg
+}
+
+// step2 advances one 2-input lane (frequency, cache ways; the ROB knob
+// holds its current setting, exactly as configFromKnobs does for the
+// 2-input variant).
+func (e *Engine) step2(id int, t *sim.Telemetry) sim.Config {
+	if !e.haveCur[id] {
+		e.cur[id] = t.Config
+		e.haveCur[id] = true
+	}
+	cur := e.cur[id]
+
+	A := e.a[id*strideA : id*strideA+16 : id*strideA+16]
+	B := e.b[id*strideB : id*strideB+8 : id*strideB+8] // 4x2 row-major
+	C := e.c[id*strideC : id*strideC+8 : id*strideC+8]
+	kx := e.kx[id*strideKx : id*strideKx+8 : id*strideKx+8] // 2x4
+	ku := e.ku[id*strideKu : id*strideKu+4 : id*strideKu+4] // 2x2
+	kz := e.kz[id*strideKz : id*strideKz+4 : id*strideKz+4] // 2x2
+	lc := e.lc[id*strideLc : id*strideLc+8 : id*strideLc+8]
+	u0 := e.u0[id*strideU : id*strideU+2 : id*strideU+2]
+	y0a := e.y0[id*strideY : id*strideY+2 : id*strideY+2]
+	xhat := e.xhat[id*strideX : id*strideX+4 : id*strideX+4]
+	xss := e.xss[id*strideX : id*strideX+4 : id*strideX+4]
+	uPrev := e.uPrev[id*strideU : id*strideU+2 : id*strideU+2]
+	uss := e.uss[id*strideU : id*strideU+2 : id*strideU+2]
+	lastExcess := e.lastExcess[id*strideU : id*strideU+2 : id*strideU+2]
+	zInt := e.zInt[id*strideY : id*strideY+2 : id*strideY+2]
+	ref := e.ref[id*strideY : id*strideY+2 : id*strideY+2]
+	lastInnov := e.lastInnov[id*strideY : id*strideY+2 : id*strideY+2]
+
+	y0 := t.IPS - y0a[0]
+	y1 := t.PowerW - y0a[1]
+
+	var cy0, cy1 float64
+	cy0 += C[0] * xhat[0]
+	cy0 += C[1] * xhat[1]
+	cy0 += C[2] * xhat[2]
+	cy0 += C[3] * xhat[3]
+	cy1 += C[4] * xhat[0]
+	cy1 += C[5] * xhat[1]
+	cy1 += C[6] * xhat[2]
+	cy1 += C[7] * xhat[3]
+	in0 := y0 - cy0
+	in1 := y1 - cy1
+	lastInnov[0], lastInnov[1] = in0, in1
+	var l0, l1, l2, l3 float64
+	l0 += lc[0] * in0
+	l0 += lc[1] * in1
+	l1 += lc[2] * in0
+	l1 += lc[3] * in1
+	l2 += lc[4] * in0
+	l2 += lc[5] * in1
+	l3 += lc[6] * in0
+	l3 += lc[7] * in1
+	xc0 := xhat[0] + l0
+	xc1 := xhat[1] + l1
+	xc2 := xhat[2] + l2
+	xc3 := xhat[3] + l3
+
+	dx0 := xc0 - xss[0]
+	dx1 := xc1 - xss[1]
+	dx2 := xc2 - xss[2]
+	dx3 := xc3 - xss[3]
+	du0 := uPrev[0] - uss[0]
+	du1 := uPrev[1] - uss[1]
+	var u0v, u1v float64
+	{
+		var kv float64
+		kv += kx[0] * dx0
+		kv += kx[1] * dx1
+		kv += kx[2] * dx2
+		kv += kx[3] * dx3
+		v := -1 * kv
+		var kv2 float64
+		kv2 += ku[0] * du0
+		kv2 += ku[1] * du1
+		v -= kv2
+		var kv3 float64
+		kv3 += kz[0] * zInt[0]
+		kv3 += kz[1] * zInt[1]
+		v -= kv3
+		u0v = uPrev[0] + v
+	}
+	{
+		var kv float64
+		kv += kx[4] * dx0
+		kv += kx[5] * dx1
+		kv += kx[6] * dx2
+		kv += kx[7] * dx3
+		v := -1 * kv
+		var kv2 float64
+		kv2 += ku[2] * du0
+		kv2 += ku[3] * du1
+		v -= kv2
+		var kv3 float64
+		kv3 += kz[2] * zInt[0]
+		kv3 += kz[3] * zInt[1]
+		v -= kv3
+		u1v = uPrev[1] + v
+	}
+
+	var nrm float64
+	nrm += lastExcess[0] * lastExcess[0]
+	nrm += lastExcess[1] * lastExcess[1]
+	saturated := e.antiWindup[id] && nrm > satThreshold // ≡ math.Sqrt(nrm) > 1e-12
+	{
+		ez := ref[0] - y0
+		skip := false
+		if saturated && ez != 0 {
+			push := 0.0
+			push += -kz[0] * ez * lastExcess[0]
+			push += -kz[2] * ez * lastExcess[1]
+			skip = push > 0
+		}
+		if !skip {
+			zInt[0] += ez
+		}
+	}
+	{
+		ez := ref[1] - y1
+		skip := false
+		if saturated && ez != 0 {
+			push := 0.0
+			push += -kz[1] * ez * lastExcess[0]
+			push += -kz[3] * ez * lastExcess[1]
+			skip = push > 0
+		}
+		if !skip {
+			zInt[1] += ez
+		}
+	}
+
+	var nx0, nx1, nx2, nx3 float64
+	{
+		var ax float64
+		ax += A[0] * xc0
+		ax += A[1] * xc1
+		ax += A[2] * xc2
+		ax += A[3] * xc3
+		var bu float64
+		bu += B[0] * u0v
+		bu += B[1] * u1v
+		nx0 = ax + bu
+	}
+	{
+		var ax float64
+		ax += A[4] * xc0
+		ax += A[5] * xc1
+		ax += A[6] * xc2
+		ax += A[7] * xc3
+		var bu float64
+		bu += B[2] * u0v
+		bu += B[3] * u1v
+		nx1 = ax + bu
+	}
+	{
+		var ax float64
+		ax += A[8] * xc0
+		ax += A[9] * xc1
+		ax += A[10] * xc2
+		ax += A[11] * xc3
+		var bu float64
+		bu += B[4] * u0v
+		bu += B[5] * u1v
+		nx2 = ax + bu
+	}
+	{
+		var ax float64
+		ax += A[12] * xc0
+		ax += A[13] * xc1
+		ax += A[14] * xc2
+		ax += A[15] * xc3
+		var bu float64
+		bu += B[6] * u0v
+		bu += B[7] * u1v
+		nx3 = ax + bu
+	}
+
+	ua0 := u0v + u0[0]
+	ua1 := u1v + u0[1]
+	q := &e.q
+	var fi, ciAsc int
+	var uq0, uq1 float64
+	if q.special {
+		fi, ciAsc = q.quant2(cur, ua0, ua1)
+		uq0 = q.freqA[fi]
+		uq1 = q.cacheA[ciAsc]
+	} else {
+		fi = q.quantFreq(cur.FreqIdx, ua0, core.ActuatorHysteresis)
+		ciAsc = q.quantCacheAsc(len(q.cache)-1-cur.CacheIdx, ua1, core.ActuatorHysteresis)
+		uq0 = q.freq[fi]
+		uq1 = q.cache[ciAsc]
+	}
+	ci := len(q.cache) - 1 - ciAsc
+	// The scalar path quantizes the ROB request float64(cur.ROBEntries())
+	// — the exact current level, which the hysteresis scan maps back to
+	// cur.ROBIdx — and then overwrites cfg.ROBIdx with cur.ROBIdx anyway.
+	ri := cur.ROBIdx
+
+	d0 := uq0 - u0[0] - u0v
+	d1 := uq1 - u0[1] - u1v
+	{
+		var bd float64
+		bd += B[0] * d0
+		bd += B[1] * d1
+		xhat[0] = nx0 + bd
+		bd = 0
+		bd += B[2] * d0
+		bd += B[3] * d1
+		xhat[1] = nx1 + bd
+		bd = 0
+		bd += B[4] * d0
+		bd += B[5] * d1
+		xhat[2] = nx2 + bd
+		bd = 0
+		bd += B[6] * d0
+		bd += B[7] * d1
+		xhat[3] = nx3 + bd
+	}
+	lastExcess[0] = -1 * d0
+	lastExcess[1] = -1 * d1
+	uPrev[0] = uq0 - u0[0]
+	uPrev[1] = uq1 - u0[1]
+
+	cfg := sim.Config{FreqIdx: fi, CacheIdx: ci, ROBIdx: ri}
+	e.cur[id] = cfg
+	return cfg
+}

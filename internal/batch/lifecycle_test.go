@@ -1,0 +1,234 @@
+package batch
+
+import (
+	"math/rand"
+	"testing"
+
+	"mimoctl/internal/core"
+	"mimoctl/internal/flightrec"
+	"mimoctl/internal/sim"
+)
+
+// stepPair advances a lane and its scalar twin with identical telemetry
+// and fails on any config divergence, returning the chosen config.
+func stepPair(t *testing.T, e *Engine, l *scalarLane, tel sim.Telemetry) sim.Config {
+	t.Helper()
+	got := e.StepLane(l.id, tel)
+	want := l.ctrl.Step(tel)
+	if got != want {
+		t.Fatalf("lane %d: batch %+v, scalar %+v", l.id, got, want)
+	}
+	l.cfg = got
+	return got
+}
+
+// TestBatchLaneLifecycle covers fleet-size and slot-reuse corners in
+// one table: empty engine, single lane, a fleet that is not a multiple
+// of the unroll width, and mid-run retire + re-add.
+func TestBatchLaneLifecycle(t *testing.T) {
+	cases := []struct {
+		name  string
+		lanes int // initial fleet size
+	}{
+		{"empty", 0},
+		{"single", 1},
+		{"unroll-multiple", 2 * UnrollWidth},
+		{"non-multiple", UnrollWidth + 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(7 + tc.lanes)))
+			e := New()
+			var lanes []*scalarLane
+			addLane := func(three bool) *scalarLane {
+				c := designedController(t, three).Clone()
+				c.Reset()
+				c.SetTargets(1+rng.Float64()*3, 1+rng.Float64()*20)
+				id, err := e.Add(c.BatchState())
+				if err != nil {
+					t.Fatal(err)
+				}
+				l := &scalarLane{id: id, ctrl: c, cfg: sim.MidrangeConfig()}
+				lanes = append(lanes, l)
+				return l
+			}
+			for i := 0; i < tc.lanes; i++ {
+				addLane(i%2 == 0)
+			}
+			if e.Len() != tc.lanes {
+				t.Fatalf("Len=%d, want %d", e.Len(), tc.lanes)
+			}
+
+			runEpochs := func(n int) {
+				tels := make([]sim.Telemetry, e.Slots())
+				outs := make([]sim.Config, e.Slots())
+				for ep := 0; ep < n; ep++ {
+					for _, l := range lanes {
+						tels[l.id] = randTelemetry(rng, ep, l.cfg)
+					}
+					if err := e.StepAll(tels, outs); err != nil {
+						t.Fatal(err)
+					}
+					for _, l := range lanes {
+						want := l.ctrl.Step(tels[l.id])
+						if outs[l.id] != want {
+							t.Fatalf("epoch %d lane %d: batch %+v, scalar %+v", ep, l.id, outs[l.id], want)
+						}
+						l.cfg = outs[l.id]
+					}
+				}
+			}
+			runEpochs(40)
+
+			if tc.lanes == 0 {
+				// StepAll on an empty engine is a no-op, not an error.
+				if err := e.StepAll(nil, nil); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+
+			// Retire a lane mid-run; the remaining fleet must stay in
+			// lockstep and the retired id must be rejected.
+			victim := lanes[len(lanes)/2]
+			if err := e.Retire(victim.id); err != nil {
+				t.Fatal(err)
+			}
+			if e.Active(victim.id) {
+				t.Fatal("retired lane still active")
+			}
+			if err := e.Retire(victim.id); err == nil {
+				t.Fatal("double retire accepted")
+			}
+			if err := e.ExtractTo(victim.id, victim.ctrl); err == nil {
+				t.Fatal("ExtractTo on retired lane accepted")
+			}
+			lanes = append(lanes[:len(lanes)/2], lanes[len(lanes)/2+1:]...)
+			runEpochs(40)
+
+			// Re-add into the freed slot: the id must be reused and the
+			// new lane must track its own twin from its snapshot.
+			before := e.Slots()
+			l := addLane(true)
+			if l.id != victim.id {
+				t.Fatalf("freed slot not reused: got id %d, want %d", l.id, victim.id)
+			}
+			if e.Slots() != before {
+				t.Fatalf("Slots grew from %d to %d despite free slot", before, e.Slots())
+			}
+			runEpochs(40)
+		})
+	}
+}
+
+// TestBatchCloneRoundTrip proves the snapshot/restore cycle is lossless
+// mid-run: clone a live scalar controller, load the clone into a lane,
+// step both, extract back into a fresh clone, and keep stepping the
+// extracted controller on the scalar path — all three stay bit-identical.
+func TestBatchCloneRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sc := designedController(t, true).Clone()
+	sc.Reset()
+	sc.SetTargets(2.5, 15)
+	cfg := sim.MidrangeConfig()
+	for ep := 0; ep < 300; ep++ {
+		cfg = sc.Step(randTelemetry(rng, ep, cfg))
+	}
+
+	e, id, err := FromController(sc.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &scalarLane{id: id, ctrl: sc, cfg: cfg}
+	for ep := 0; ep < 200; ep++ {
+		stepPair(t, e, l, randTelemetry(rng, ep, l.cfg))
+	}
+
+	// Extract mid-run and continue on the scalar path.
+	back := sc.Clone()
+	if err := e.ExtractTo(id, back); err != nil {
+		t.Fatal(err)
+	}
+	requireSameRuntime(t, "round-trip", back.BatchState(), sc.BatchState())
+	for ep := 0; ep < 200; ep++ {
+		tel := randTelemetry(rng, ep, l.cfg)
+		a := sc.Step(tel)
+		b := back.Step(tel)
+		c := e.StepLane(id, tel)
+		if a != b || a != c {
+			t.Fatalf("epoch %d: scalar %+v, extracted %+v, batch %+v", ep, a, b, c)
+		}
+		l.cfg = a
+	}
+}
+
+// TestBatchAddRejections pins the scalar-fallback contract: shapes and
+// structures the kernels are not specialized for must be refused at
+// load time, never mis-stepped.
+func TestBatchAddRejections(t *testing.T) {
+	base := designedController(t, true)
+
+	t.Run("non-deltaU", func(t *testing.T) {
+		s := base.Clone().BatchState()
+		s.Opts.DeltaU = false
+		if _, err := New().Add(s); err == nil {
+			t.Fatal("non-ΔU structure accepted")
+		}
+	})
+	t.Run("non-integral", func(t *testing.T) {
+		s := base.Clone().BatchState()
+		s.Opts.Integral = false
+		if _, err := New().Add(s); err == nil {
+			t.Fatal("non-integral structure accepted")
+		}
+	})
+	t.Run("wrong-shape", func(t *testing.T) {
+		s := base.Clone().BatchState()
+		s.ThreeInput = false // claims 2 inputs; matrices are 3-input
+		if _, err := New().Add(s); err == nil {
+			t.Fatal("mismatched input shape accepted")
+		}
+	})
+	t.Run("invalid-config", func(t *testing.T) {
+		s := base.Clone().BatchState()
+		s.HaveCur = true
+		s.Cur = sim.Config{FreqIdx: 99}
+		if _, err := New().Add(s); err == nil {
+			t.Fatal("invalid current config accepted")
+		}
+	})
+	t.Run("flight-recorder", func(t *testing.T) {
+		c := base.Clone()
+		c.SetFlightRecorder(flightrec.New(16))
+		if _, err := FromControllers([]*core.MIMOController{c}); err == nil {
+			t.Fatal("recorder-attached controller accepted")
+		}
+		if _, _, err := FromController(c); err == nil {
+			t.Fatal("recorder-attached controller accepted by FromController")
+		}
+	})
+	t.Run("stale-extract-shape", func(t *testing.T) {
+		e, id, err := FromController(base.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrong := designedController(t, false).Clone()
+		if err := e.ExtractTo(id, wrong); err == nil {
+			t.Fatal("extract into wrong-shaped controller accepted")
+		}
+	})
+}
+
+// TestBatchStepAllSliceCheck pins the slice-length contract.
+func TestBatchStepAllSliceCheck(t *testing.T) {
+	e, _, err := FromController(designedController(t, true).Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StepAll(nil, make([]sim.Config, 1)); err == nil {
+		t.Fatal("short telemetry slice accepted")
+	}
+	if err := e.StepAll(make([]sim.Telemetry, 1), nil); err == nil {
+		t.Fatal("short output slice accepted")
+	}
+}

@@ -1,0 +1,532 @@
+// Package batch steps fleets of MIMO LQG controllers through fused,
+// hand-specialized fixed-size kernels over a structure-of-arrays state
+// layout. The arithmetic reproduces the scalar path
+// (core.MIMOController.Step over lqg.Controller.Step) operation for
+// operation, so batched and scalar stepping produce bit-identical
+// float64 state and identical knob decisions; the differential test
+// harness in this package enforces that across randomized epochs and
+// fuzzed state.
+package batch
+
+import (
+	"math"
+
+	"mimoctl/internal/core"
+	"mimoctl/internal/sim"
+)
+
+// The paper's Table III knob-table sizes. When the simulator's tables
+// match these (they always do today), the kernels take constant-size
+// quantizer paths whose window loops and level lookups compile without
+// slice-length indirection; any other sizes fall back to the generic
+// slice code below, which is equally exact.
+const (
+	nFreq  = 16
+	nROB   = 8
+	nCache = 4
+)
+
+// quantTables snapshots the simulator's knob-level tables at engine
+// construction, plus the uniform-grid parameters the fast quantizer
+// path uses to replace the scalar full scan with a 3-wide window.
+type quantTables struct {
+	freq  []float64 // ascending GHz (16 levels in the paper's Table III)
+	rob   []float64 // ascending entries (8 levels)
+	cache []float64 // ascending L2 ways (4 levels)
+
+	freqBase, freqInvStep float64
+	robBase, robInvStep   float64
+	freqFast, robFast     bool
+
+	// Constant-size copies for the specialized kernel path; valid (and
+	// equal to the slices above) only when special is true.
+	freqA   [nFreq]float64
+	robA    [nROB]float64
+	cacheA  [nCache]float64
+	special bool
+}
+
+func newQuantTables() quantTables {
+	t := quantTables{
+		freq:  sim.FreqLevels(),
+		rob:   sim.ROBLevels(),
+		cache: sim.CacheWaysLevels(),
+	}
+	t.freqBase, t.freqInvStep, t.freqFast = uniformGrid(t.freq)
+	t.robBase, t.robInvStep, t.robFast = uniformGrid(t.rob)
+	t.special = t.freqFast && t.robFast &&
+		len(t.freq) == nFreq && len(t.rob) == nROB && len(t.cache) == nCache
+	if t.special {
+		copy(t.freqA[:], t.freq)
+		copy(t.robA[:], t.rob)
+		copy(t.cacheA[:], t.cache)
+	}
+	return t
+}
+
+// uniformGrid fits base + i/invStep to the levels and reports whether
+// every level is within a quarter step of that grid — the condition
+// under which the arithmetic candidate index in quantUniform is
+// guaranteed to land within one slot of the true nearest level.
+func uniformGrid(levels []float64) (base, invStep float64, ok bool) {
+	n := len(levels)
+	if n < 2 {
+		return 0, 0, false
+	}
+	h := (levels[n-1] - levels[0]) / float64(n-1)
+	if !(h > 0) || math.IsInf(h, 0) {
+		return 0, 0, false
+	}
+	for i, l := range levels {
+		if math.Abs(l-(levels[0]+h*float64(i))) > 0.25*h {
+			return 0, 0, false
+		}
+	}
+	return levels[0], 1 / h, true
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// scanIndex is a verbatim transcription of sim's hysteresisIndex: the
+// nearest level wins unless the request stays within (0.5+margin)
+// boundary-local steps of the current one. It is the reference the fast
+// path defers to for non-finite requests and window-edge ambiguity.
+func scanIndex(levels []float64, curIdx int, req, margin float64) int {
+	if curIdx < 0 || curIdx >= len(levels) {
+		curIdx = 0
+	}
+	best := curIdx
+	bd := absf(levels[curIdx] - req)
+	for i, l := range levels {
+		if d := absf(l - req); d < bd {
+			best, bd = i, d
+		}
+	}
+	if best == curIdx {
+		return curIdx
+	}
+	lo, hi := curIdx, best
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	step := (levels[hi] - levels[lo]) / float64(hi-lo)
+	if absf(req-levels[curIdx]) <= (0.5+margin)*step {
+		return curIdx
+	}
+	return best
+}
+
+// quantUniform computes scanIndex over a uniform ascending grid without
+// scanning it: an arithmetic candidate index plus a 3-wide comparison
+// window reproduces the scan's first-minimum-wins tie handling exactly.
+// The result is proven equal to scanIndex (and therefore to the scalar
+// path) by TestQuantMatchesSim and FuzzQuantHysteresis.
+//
+// It returns scanIndex's answer bit-for-bit because:
+//   - the window comparisons use the same |level-req| expressions and
+//     the same strict-improvement ordering, seeded with the same
+//     current-level distance;
+//   - for finite requests the true nearest index is within one slot of
+//     the arithmetic candidate (uniformGrid verified the grid), so all
+//     minimum-distance levels lie inside the window — except possibly
+//     past its left edge, in which case the full scan is used;
+//   - NaN and ±Inf requests fall through to the full scan, preserving
+//     the scan's hold-current-on-NaN sentinel behaviour.
+//
+// math.Abs replaces the scalar path's branchy absf inside the window:
+// the two differ only on the sign of a zero, which cannot change any
+// distance comparison, so the selected index is unaffected.
+// n is passed explicitly (always len(levels)) so the specialized kernel
+// call sites can supply it as a compile-time constant.
+func quantUniform(levels []float64, base, invStep float64, n, curIdx int, req, margin float64) int {
+	if uint(curIdx) >= uint(n) {
+		curIdx = 0
+	}
+	t := (req-base)*invStep + 0.5
+	k := int(t)
+	if !(t >= 1) {
+		if !(t >= -1e18) { // NaN or -Inf: the scan holds the current level
+			return scanIndex(levels, curIdx, req, margin)
+		}
+		k = 0
+	} else if k >= n {
+		if t > 1e18 { // +Inf
+			return scanIndex(levels, curIdx, req, margin)
+		}
+		k = n - 1
+	}
+	best := curIdx
+	bd := math.Abs(levels[curIdx] - req)
+	lo := k - 1
+	if lo < 0 {
+		lo = 0
+	}
+	hi := k + 1
+	if hi > n-1 {
+		hi = n - 1
+	}
+	for i := lo; i <= hi; i++ {
+		if d := math.Abs(levels[i] - req); d < bd {
+			best, bd = i, d
+		}
+	}
+	if best == lo && lo > 0 {
+		// The winner sits on the window's left edge: an exact-tie level
+		// further left could be the scan's first minimum. Rare (it needs
+		// an off-by-one arithmetic candidate and an exact midpoint);
+		// defer to the scan rather than reason about it.
+		return scanIndex(levels, curIdx, req, margin)
+	}
+	if best == curIdx {
+		return curIdx
+	}
+	l, h := curIdx, best
+	if l > h {
+		l, h = h, l
+	}
+	step := (levels[h] - levels[l]) / float64(h-l)
+	if math.Abs(req-levels[curIdx]) <= (0.5+margin)*step {
+		return curIdx
+	}
+	return best
+}
+
+// quantCache4 is scanIndex unrolled over exactly four levels, used by
+// the specialized kernel path for the L2-ways grid (ascending order).
+// The scan structure — seed with the current level's distance, visit
+// levels in ascending-index order, strict-improvement updates, then the
+// boundary-local hysteresis tail — is identical, so the selected index
+// always matches; math.Abs vs the scalar absf differs only on the sign
+// of a zero, which cannot change any distance comparison.
+func quantCache4(lv *[nCache]float64, curAsc int, req, margin float64) int {
+	if uint(curAsc) >= nCache {
+		curAsc = 0
+	}
+	best := curAsc
+	bd := math.Abs(lv[curAsc] - req)
+	if d := math.Abs(lv[0] - req); d < bd {
+		best, bd = 0, d
+	}
+	if d := math.Abs(lv[1] - req); d < bd {
+		best, bd = 1, d
+	}
+	if d := math.Abs(lv[2] - req); d < bd {
+		best, bd = 2, d
+	}
+	if d := math.Abs(lv[3] - req); d < bd {
+		best, bd = 3, d
+	}
+	if best == curAsc {
+		return curAsc
+	}
+	l, h := curAsc, best
+	if l > h {
+		l, h = h, l
+	}
+	step := (lv[h] - lv[l]) / float64(h-l)
+	if math.Abs(req-lv[curAsc]) <= (0.5+margin)*step {
+		return curAsc
+	}
+	return best
+}
+
+// quantFreq/quantROB pick the fast path when the grid verified uniform.
+// The kernels bypass these wrappers on the specialized path and call
+// quantUniform/quantCache4 directly with constant sizes; these remain
+// the generic entry points (and the fallback when special is false).
+func (t *quantTables) quantFreq(curIdx int, req, margin float64) int {
+	if t.freqFast {
+		return quantUniform(t.freq, t.freqBase, t.freqInvStep, len(t.freq), curIdx, req, margin)
+	}
+	return scanIndex(t.freq, curIdx, req, margin)
+}
+
+func (t *quantTables) quantROB(curIdx int, req, margin float64) int {
+	if t.robFast {
+		return quantUniform(t.rob, t.robBase, t.robInvStep, len(t.rob), curIdx, req, margin)
+	}
+	return scanIndex(t.rob, curIdx, req, margin)
+}
+
+// quantCacheAsc quantizes in ascending-ways space; the caller converts
+// to and from the descending CacheSettings index exactly as sim's
+// hysteresisIndexDesc does. Four levels: the scan is already cheap.
+func (t *quantTables) quantCacheAsc(curAsc int, req, margin float64) int {
+	if t.special {
+		return quantCache4(&t.cacheA, curAsc, req, margin)
+	}
+	return scanIndex(t.cache, curAsc, req, margin)
+}
+
+// qMargin is the only hysteresis margin the kernels ever quantize with
+// (the scalar path hardcodes the same constant in configFromKnobs), so
+// the fused fast path below folds it at compile time.
+const qMargin = core.ActuatorHysteresis
+
+// quant3 quantizes all three knob requests of one 3-input lane in a
+// single call: quantUniform's candidate-window computation transcribed
+// for the 16-level frequency and 8-level ROB grids, and quantCache4's
+// unrolled scan for the 4-level ways grid. Fusing them means the step
+// kernels pay one call per lane instead of three; the per-grid logic is
+// otherwise identical statement for statement, with the same scanIndex
+// deferrals, and TestQuantFusedMatchesOutlined plus the kernel
+// differential harness pin the equivalence. Requires t.special.
+//
+// ciAsc is in ascending-ways space, like quantCacheAsc.
+func (t *quantTables) quant3(cur sim.Config, ua0, ua1, ua2 float64) (fi, ciAsc, ri int) {
+	// Frequency: 16-level uniform grid.
+	{
+		c := cur.FreqIdx
+		if uint(c) >= nFreq {
+			c = 0
+		}
+		x := (ua0-t.freqBase)*t.freqInvStep + 0.5
+		k := int(x)
+		ok := true
+		if !(x >= 1) {
+			if !(x >= -1e18) { // NaN or -Inf: the scan holds the current level
+				ok = false
+			}
+			k = 0
+		} else if k >= nFreq {
+			if x > 1e18 { // +Inf
+				ok = false
+			}
+			k = nFreq - 1
+		}
+		if ok {
+			best := c
+			bd := math.Abs(t.freqA[c] - ua0)
+			lo := k - 1
+			if lo < 0 {
+				lo = 0
+			}
+			hi := k + 1
+			if hi > nFreq-1 {
+				hi = nFreq - 1
+			}
+			for i := lo; i <= hi; i++ {
+				if d := math.Abs(t.freqA[i] - ua0); d < bd {
+					best, bd = i, d
+				}
+			}
+			switch {
+			case best == lo && lo > 0: // left-edge winner: defer to the scan
+				fi = scanIndex(t.freq, c, ua0, qMargin)
+			case best == c:
+				fi = c
+			default:
+				l, h := c, best
+				if l > h {
+					l, h = h, l
+				}
+				step := (t.freqA[h] - t.freqA[l]) / float64(h-l)
+				if math.Abs(ua0-t.freqA[c]) <= (0.5+qMargin)*step {
+					fi = c
+				} else {
+					fi = best
+				}
+			}
+		} else {
+			fi = scanIndex(t.freq, c, ua0, qMargin)
+		}
+	}
+
+	// L2 ways: 4 levels, fully unrolled scan (ascending space).
+	{
+		c := nCache - 1 - cur.CacheIdx
+		if uint(c) >= nCache {
+			c = 0
+		}
+		best := c
+		bd := math.Abs(t.cacheA[c] - ua1)
+		if d := math.Abs(t.cacheA[0] - ua1); d < bd {
+			best, bd = 0, d
+		}
+		if d := math.Abs(t.cacheA[1] - ua1); d < bd {
+			best, bd = 1, d
+		}
+		if d := math.Abs(t.cacheA[2] - ua1); d < bd {
+			best, bd = 2, d
+		}
+		if d := math.Abs(t.cacheA[3] - ua1); d < bd {
+			best, bd = 3, d
+		}
+		if best == c {
+			ciAsc = c
+		} else {
+			l, h := c, best
+			if l > h {
+				l, h = h, l
+			}
+			step := (t.cacheA[h] - t.cacheA[l]) / float64(h-l)
+			if math.Abs(ua1-t.cacheA[c]) <= (0.5+qMargin)*step {
+				ciAsc = c
+			} else {
+				ciAsc = best
+			}
+		}
+	}
+
+	// ROB: 8-level uniform grid (requests arrive in entry units).
+	{
+		c := cur.ROBIdx
+		if uint(c) >= nROB {
+			c = 0
+		}
+		x := (ua2-t.robBase)*t.robInvStep + 0.5
+		k := int(x)
+		ok := true
+		if !(x >= 1) {
+			if !(x >= -1e18) {
+				ok = false
+			}
+			k = 0
+		} else if k >= nROB {
+			if x > 1e18 {
+				ok = false
+			}
+			k = nROB - 1
+		}
+		if ok {
+			best := c
+			bd := math.Abs(t.robA[c] - ua2)
+			lo := k - 1
+			if lo < 0 {
+				lo = 0
+			}
+			hi := k + 1
+			if hi > nROB-1 {
+				hi = nROB - 1
+			}
+			for i := lo; i <= hi; i++ {
+				if d := math.Abs(t.robA[i] - ua2); d < bd {
+					best, bd = i, d
+				}
+			}
+			switch {
+			case best == lo && lo > 0:
+				ri = scanIndex(t.rob, c, ua2, qMargin)
+			case best == c:
+				ri = c
+			default:
+				l, h := c, best
+				if l > h {
+					l, h = h, l
+				}
+				step := (t.robA[h] - t.robA[l]) / float64(h-l)
+				if math.Abs(ua2-t.robA[c]) <= (0.5+qMargin)*step {
+					ri = c
+				} else {
+					ri = best
+				}
+			}
+		} else {
+			ri = scanIndex(t.rob, c, ua2, qMargin)
+		}
+	}
+	return fi, ciAsc, ri
+}
+
+// quant2 is quant3 for the 2-input lanes: frequency and cache ways only
+// (their ROB knob holds, so nothing to quantize). Same transcription,
+// same deferrals, same tests.
+func (t *quantTables) quant2(cur sim.Config, ua0, ua1 float64) (fi, ciAsc int) {
+	{
+		c := cur.FreqIdx
+		if uint(c) >= nFreq {
+			c = 0
+		}
+		x := (ua0-t.freqBase)*t.freqInvStep + 0.5
+		k := int(x)
+		ok := true
+		if !(x >= 1) {
+			if !(x >= -1e18) {
+				ok = false
+			}
+			k = 0
+		} else if k >= nFreq {
+			if x > 1e18 {
+				ok = false
+			}
+			k = nFreq - 1
+		}
+		if ok {
+			best := c
+			bd := math.Abs(t.freqA[c] - ua0)
+			lo := k - 1
+			if lo < 0 {
+				lo = 0
+			}
+			hi := k + 1
+			if hi > nFreq-1 {
+				hi = nFreq - 1
+			}
+			for i := lo; i <= hi; i++ {
+				if d := math.Abs(t.freqA[i] - ua0); d < bd {
+					best, bd = i, d
+				}
+			}
+			switch {
+			case best == lo && lo > 0:
+				fi = scanIndex(t.freq, c, ua0, qMargin)
+			case best == c:
+				fi = c
+			default:
+				l, h := c, best
+				if l > h {
+					l, h = h, l
+				}
+				step := (t.freqA[h] - t.freqA[l]) / float64(h-l)
+				if math.Abs(ua0-t.freqA[c]) <= (0.5+qMargin)*step {
+					fi = c
+				} else {
+					fi = best
+				}
+			}
+		} else {
+			fi = scanIndex(t.freq, c, ua0, qMargin)
+		}
+	}
+
+	{
+		c := nCache - 1 - cur.CacheIdx
+		if uint(c) >= nCache {
+			c = 0
+		}
+		best := c
+		bd := math.Abs(t.cacheA[c] - ua1)
+		if d := math.Abs(t.cacheA[0] - ua1); d < bd {
+			best, bd = 0, d
+		}
+		if d := math.Abs(t.cacheA[1] - ua1); d < bd {
+			best, bd = 1, d
+		}
+		if d := math.Abs(t.cacheA[2] - ua1); d < bd {
+			best, bd = 2, d
+		}
+		if d := math.Abs(t.cacheA[3] - ua1); d < bd {
+			best, bd = 3, d
+		}
+		if best == c {
+			ciAsc = c
+		} else {
+			l, h := c, best
+			if l > h {
+				l, h = h, l
+			}
+			step := (t.cacheA[h] - t.cacheA[l]) / float64(h-l)
+			if math.Abs(ua1-t.cacheA[c]) <= (0.5+qMargin)*step {
+				ciAsc = c
+			} else {
+				ciAsc = best
+			}
+		}
+	}
+	return fi, ciAsc
+}

@@ -1,0 +1,254 @@
+package batch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mimoctl/internal/core"
+	"mimoctl/internal/sim"
+)
+
+// randReq draws quantizer requests from a mixture that stresses every
+// branch: in-range uniforms, exact levels, exact midpoints (and their
+// neighborhoods), far out-of-range magnitudes, and non-finite sentinels.
+func randReq(rng *rand.Rand, levels []float64) float64 {
+	lo, hi := levels[0], levels[len(levels)-1]
+	span := hi - lo
+	switch rng.Intn(10) {
+	case 0: // exact level
+		return levels[rng.Intn(len(levels))]
+	case 1: // exact midpoint between adjacent levels (ties)
+		i := rng.Intn(len(levels) - 1)
+		return (levels[i] + levels[i+1]) / 2
+	case 2: // midpoint neighborhood
+		i := rng.Intn(len(levels) - 1)
+		return (levels[i]+levels[i+1])/2 + (rng.Float64()-0.5)*1e-12
+	case 3: // far out of range
+		return (rng.Float64()*2 - 1) * 1e6
+	case 4: // special values
+		switch rng.Intn(6) {
+		case 0:
+			return math.NaN()
+		case 1:
+			return math.Inf(1)
+		case 2:
+			return math.Inf(-1)
+		case 3:
+			return math.Copysign(0, -1)
+		case 4:
+			return 1e300
+		default:
+			return -1e300
+		}
+	default: // in and slightly out of range
+		return lo - 0.5*span + rng.Float64()*2*span
+	}
+}
+
+// TestQuantMatchesSim proves the batch quantizers reproduce
+// sim.NearestConfigHysteresis exactly — same indices for every request,
+// including non-finite and exact-tie inputs — across randomized current
+// configurations.
+func TestQuantMatchesSim(t *testing.T) {
+	q := newQuantTables()
+	if !q.freqFast {
+		t.Fatal("frequency grid did not verify uniform; fast path untested")
+	}
+	if !q.robFast {
+		t.Fatal("ROB grid did not verify uniform; fast path untested")
+	}
+	rng := rand.New(rand.NewSource(1))
+	const iters = 400000
+	for i := 0; i < iters; i++ {
+		cur := sim.Config{
+			FreqIdx:  rng.Intn(len(q.freq)),
+			CacheIdx: rng.Intn(len(q.cache)),
+			ROBIdx:   rng.Intn(len(q.rob)),
+		}
+		fReq := randReq(rng, q.freq)
+		cReq := randReq(rng, q.cache)
+		rReq := randReq(rng, q.rob)
+
+		want := sim.NearestConfigHysteresis(fReq, cReq, rReq, cur, core.ActuatorHysteresis)
+
+		fi := q.quantFreq(cur.FreqIdx, fReq, core.ActuatorHysteresis)
+		ciAsc := q.quantCacheAsc(len(q.cache)-1-cur.CacheIdx, cReq, core.ActuatorHysteresis)
+		got := sim.Config{
+			FreqIdx:  fi,
+			CacheIdx: len(q.cache) - 1 - ciAsc,
+			ROBIdx:   q.quantROB(cur.ROBIdx, rReq, core.ActuatorHysteresis),
+		}
+		if got != want {
+			t.Fatalf("iter %d: cur=%+v req=(%v,%v,%v): batch %+v, sim %+v",
+				i, cur, fReq, cReq, rReq, got, want)
+		}
+	}
+}
+
+// TestQuantUniformMatchesScan drives the fast uniform-grid path against
+// the verbatim scan on the real grids with adversarial current indices
+// (including out-of-range ones, which both sides clamp to 0).
+func TestQuantUniformMatchesScan(t *testing.T) {
+	q := newQuantTables()
+	grids := []struct {
+		name          string
+		levels        []float64
+		base, invStep float64
+	}{
+		{"freq", q.freq, q.freqBase, q.freqInvStep},
+		{"rob", q.rob, q.robBase, q.robInvStep},
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, g := range grids {
+		for i := 0; i < 300000; i++ {
+			cur := rng.Intn(len(g.levels)+4) - 2 // includes out-of-range
+			req := randReq(rng, g.levels)
+			want := scanIndex(g.levels, cur, req, core.ActuatorHysteresis)
+			got := quantUniform(g.levels, g.base, g.invStep, len(g.levels), cur, req, core.ActuatorHysteresis)
+			if got != want {
+				t.Fatalf("%s iter %d: cur=%d req=%v: fast %d, scan %d", g.name, i, cur, req, got, want)
+			}
+		}
+	}
+}
+
+// TestQuantCache4MatchesScan drives the unrolled four-level cache
+// quantizer against the verbatim scan with adversarial current indices.
+func TestQuantCache4MatchesScan(t *testing.T) {
+	q := newQuantTables()
+	if !q.special {
+		t.Fatal("tables did not specialize; unrolled cache path untested")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300000; i++ {
+		cur := rng.Intn(nCache+4) - 2 // includes out-of-range
+		req := randReq(rng, q.cache)
+		want := scanIndex(q.cache, cur, req, core.ActuatorHysteresis)
+		got := quantCache4(&q.cacheA, cur, req, core.ActuatorHysteresis)
+		if got != want {
+			t.Fatalf("iter %d: cur=%d req=%v: unrolled %d, scan %d", i, cur, req, got, want)
+		}
+	}
+}
+
+// TestUniformGridDetection pins which grids take the fast path and that
+// a non-uniform grid is rejected.
+func TestUniformGridDetection(t *testing.T) {
+	if _, _, ok := uniformGrid([]float64{2, 4, 8, 16}); ok {
+		t.Fatal("geometric grid accepted as uniform")
+	}
+	if _, _, ok := uniformGrid([]float64{1}); ok {
+		t.Fatal("single-level grid accepted")
+	}
+	if _, _, ok := uniformGrid(sim.FreqLevels()); !ok {
+		t.Fatal("frequency grid rejected; fast path dead")
+	}
+	if _, _, ok := uniformGrid(sim.ROBLevels()); !ok {
+		t.Fatal("ROB grid rejected; fast path dead")
+	}
+}
+
+// FuzzQuantHysteresis fuzzes raw request bits and current indices
+// against sim.NearestConfigHysteresis.
+func FuzzQuantHysteresis(f *testing.F) {
+	f.Add(uint64(0x4004000000000000), uint64(0x4010000000000000), uint64(0x4050000000000000), 3, 1, 4)
+	f.Add(^uint64(0), uint64(0x7FF0000000000000), uint64(0xFFF0000000000000), 0, 0, 0) // NaN, +Inf, -Inf
+	f.Add(uint64(0x8000000000000000), uint64(0), uint64(0x3FF0000000000000), 15, 3, 7) // -0, 0, 1
+	q := newQuantTables()
+	f.Fuzz(func(t *testing.T, fb, cb, rb uint64, fc, cc, rc int) {
+		cur := sim.Config{
+			FreqIdx:  clampIdx(fc, len(q.freq)),
+			CacheIdx: clampIdx(cc, len(q.cache)),
+			ROBIdx:   clampIdx(rc, len(q.rob)),
+		}
+		fReq := math.Float64frombits(fb)
+		cReq := math.Float64frombits(cb)
+		rReq := math.Float64frombits(rb)
+		want := sim.NearestConfigHysteresis(fReq, cReq, rReq, cur, core.ActuatorHysteresis)
+		fi := q.quantFreq(cur.FreqIdx, fReq, core.ActuatorHysteresis)
+		ciAsc := q.quantCacheAsc(len(q.cache)-1-cur.CacheIdx, cReq, core.ActuatorHysteresis)
+		got := sim.Config{
+			FreqIdx:  fi,
+			CacheIdx: len(q.cache) - 1 - ciAsc,
+			ROBIdx:   q.quantROB(cur.ROBIdx, rReq, core.ActuatorHysteresis),
+		}
+		if got != want {
+			t.Fatalf("cur=%+v req=(%v,%v,%v): batch %+v, sim %+v", cur, fReq, cReq, rReq, got, want)
+		}
+	})
+}
+
+// TestQuantFusedMatchesOutlined drives the fused per-lane quantizers
+// (quant3/quant2) against the outlined single-grid functions across
+// adversarial requests and current indices, including out-of-range and
+// non-finite ones.
+func TestQuantFusedMatchesOutlined(t *testing.T) {
+	q := newQuantTables()
+	if !q.special {
+		t.Fatal("tables did not specialize; fused path untested")
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300000; i++ {
+		cur := sim.Config{
+			FreqIdx:  rng.Intn(len(q.freq)+4) - 2,
+			CacheIdx: rng.Intn(len(q.cache)+4) - 2,
+			ROBIdx:   rng.Intn(len(q.rob)+4) - 2,
+		}
+		fReq := randReq(rng, q.freq)
+		cReq := randReq(rng, q.cache)
+		rReq := randReq(rng, q.rob)
+
+		wantF := quantUniform(q.freq, q.freqBase, q.freqInvStep, len(q.freq), cur.FreqIdx, fReq, core.ActuatorHysteresis)
+		wantC := quantCache4(&q.cacheA, len(q.cache)-1-cur.CacheIdx, cReq, core.ActuatorHysteresis)
+		wantR := quantUniform(q.rob, q.robBase, q.robInvStep, len(q.rob), cur.ROBIdx, rReq, core.ActuatorHysteresis)
+
+		fi, ciAsc, ri := q.quant3(cur, fReq, cReq, rReq)
+		if fi != wantF || ciAsc != wantC || ri != wantR {
+			t.Fatalf("quant3 iter %d: cur=%+v req=(%v,%v,%v): got (%d,%d,%d), want (%d,%d,%d)",
+				i, cur, fReq, cReq, rReq, fi, ciAsc, ri, wantF, wantC, wantR)
+		}
+		fi2, ci2 := q.quant2(cur, fReq, cReq)
+		if fi2 != wantF || ci2 != wantC {
+			t.Fatalf("quant2 iter %d: cur=%+v req=(%v,%v): got (%d,%d), want (%d,%d)",
+				i, cur, fReq, cReq, fi2, ci2, wantF, wantC)
+		}
+	}
+}
+
+// TestSatThresholdMatchesSqrt pins the kernels' saturation compare
+// nrm > satThreshold to the scalar path's math.Sqrt(nrm) > 1e-12 —
+// exhaustively for a few thousand ulps around the boundary, plus random
+// magnitudes and the non-finite sentinels.
+func TestSatThresholdMatchesSqrt(t *testing.T) {
+	check := func(nrm float64) {
+		t.Helper()
+		want := math.Sqrt(nrm) > 1e-12
+		got := nrm > satThreshold
+		if got != want {
+			t.Fatalf("nrm=%v (bits %#x): threshold %v, sqrt %v", nrm, math.Float64bits(nrm), got, want)
+		}
+	}
+	b := math.Float64bits(satThreshold)
+	for d := uint64(0); d <= 4096; d++ {
+		check(math.Float64frombits(b - d))
+		check(math.Float64frombits(b + d))
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200000; i++ {
+		check(math.Float64frombits(rng.Uint64() &^ (1 << 63))) // nrm is a sum of squares: non-negative
+	}
+	check(0)
+	check(math.Inf(1))
+	check(math.NaN())
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

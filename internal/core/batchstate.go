@@ -1,0 +1,78 @@
+package core
+
+import (
+	"errors"
+
+	"mimoctl/internal/lqg"
+	"mimoctl/internal/mat"
+	"mimoctl/internal/sim"
+	"mimoctl/internal/sysid"
+)
+
+// BatchState is everything the batched structure-of-arrays engine
+// (internal/batch) needs to step a MIMOController outside this package:
+// the immutable design (gain matrices, operating point, options) plus
+// the mutable runtime snapshot (LQG vectors, targets, current config,
+// health counters). BatchState/SetBatchState are the load/store pair
+// FromControllers and ExtractTo are built on.
+type BatchState struct {
+	// Design (copies; immutable once designed).
+	A, B, C    *mat.Matrix // plant model
+	Kx, Ku, Kz *mat.Matrix // LQR gain partitions (Ku/Kz nil when disabled)
+	Lc         *mat.Matrix // Kalman gain
+	TargetGain *mat.Matrix // [x_ss; u_ss] = TargetGain · r
+	Opts       lqg.Options
+	Offsets    sysid.Offsets
+	ThreeInput bool
+
+	// Runtime.
+	LQG                    lqg.RuntimeState
+	IPSTarget, PowerTarget float64
+	Cur                    sim.Config
+	HaveCur                bool
+	Health                 Health
+}
+
+// BatchState snapshots the controller for the batch engine. The gain
+// matrices and runtime vectors are copies; mutating them does not
+// affect the controller.
+func (c *MIMOController) BatchState() BatchState {
+	kx, ku, kz := c.lq.Gains()
+	p := c.lq.Plant()
+	return BatchState{
+		A: p.A.Clone(), B: p.B.Clone(), C: p.C.Clone(),
+		Kx: kx, Ku: ku, Kz: kz,
+		Lc:         c.lq.KalmanGain(),
+		TargetGain: c.lq.TargetGain(),
+		Opts:       c.lq.Options(),
+		Offsets: sysid.Offsets{
+			U0: append([]float64(nil), c.off.U0...),
+			Y0: append([]float64(nil), c.off.Y0...),
+		},
+		ThreeInput:  c.threeInput,
+		LQG:         c.lq.State(),
+		IPSTarget:   c.ipsTarget,
+		PowerTarget: c.powerTarget,
+		Cur:         c.cur,
+		HaveCur:     c.haveCur,
+		Health:      c.health,
+	}
+}
+
+// SetBatchState restores the *runtime* portion of a snapshot — the LQG
+// vectors, targets, current config, and health counters. The design
+// fields are ignored: a snapshot can only be restored into a controller
+// with the same input/output shape (the batch engine never redesigns).
+func (c *MIMOController) SetBatchState(s BatchState) error {
+	if s.ThreeInput != c.threeInput {
+		return errors.New("core: batch state input shape does not match controller")
+	}
+	if err := c.lq.SetState(s.LQG); err != nil {
+		return err
+	}
+	c.ipsTarget, c.powerTarget = s.IPSTarget, s.PowerTarget
+	c.cur = s.Cur
+	c.haveCur = s.HaveCur
+	c.health = s.Health
+	return nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"mimoctl/internal/batch"
+	"mimoctl/internal/core"
+	"mimoctl/internal/flightrec"
+	"mimoctl/internal/sim"
+)
+
+// batchStepping selects the batched structure-of-arrays fleet backend
+// (internal/batch) for experiment loops driven by a bare MIMO
+// controller. The batch kernels are proven bit-identical to the scalar
+// path, so toggling the backend never changes any experiment output —
+// only the stepping cost (mimoexp -batch; TestGoldenBatchIdentical).
+var batchStepping atomic.Bool
+
+// batchWraps counts loops actually taken over by the batch backend, so
+// the golden regression can prove it exercised the batch path rather
+// than passing vacuously (e.g. with flight recording force-enabled).
+var batchWraps atomic.Int64
+
+// SetBatchStepping selects (true) or deselects (false) the batched
+// fleet backend for subsequent experiment runs.
+func SetBatchStepping(on bool) { batchStepping.Store(on) }
+
+// BatchStepping reports whether the batched backend is selected.
+func BatchStepping() bool { return batchStepping.Load() }
+
+// batchLoop adapts one engine lane to core.ArchController for the Run*
+// epoch loops. The lane owns the live state; flushBatch stores it back
+// into the source controller when the run finishes, preserving the
+// convention that a controller's state survives the run that stepped it.
+type batchLoop struct {
+	e    *batch.Engine
+	id   int
+	name string
+	src  *core.MIMOController
+}
+
+func (b *batchLoop) Name() string                     { return b.name }
+func (b *batchLoop) SetTargets(ips, power float64)    { _ = b.e.SetTargets(b.id, ips, power) }
+func (b *batchLoop) Targets() (ips, power float64)    { return b.e.Targets(b.id) }
+func (b *batchLoop) Step(t sim.Telemetry) sim.Config  { return b.e.StepLane(b.id, t) }
+func (b *batchLoop) Reset()                           { b.e.Reset(b.id) }
+
+// maybeBatch swaps a bare MIMO controller for a batch-engine lane
+// seeded with its current state. Everything else stays on the scalar
+// path: the batch kernels do not record flight data (rec != nil),
+// supervised/baseline controllers are not MIMO lanes, and shapes the
+// kernels are not specialized for (ablation variants) are rejected by
+// the engine at load time.
+func maybeBatch(ctrl core.ArchController, rec *flightrec.Recorder) core.ArchController {
+	if !batchStepping.Load() || rec != nil {
+		return ctrl
+	}
+	mc, ok := ctrl.(*core.MIMOController)
+	if !ok {
+		return ctrl
+	}
+	e, id, err := batch.FromController(mc)
+	if err != nil {
+		return ctrl
+	}
+	batchWraps.Add(1)
+	return &batchLoop{e: e, id: id, name: mc.Name(), src: mc}
+}
+
+// flushBatch stores a batch lane's final state back into the scalar
+// controller it was seeded from; a no-op for scalar controllers. Call
+// it (deferred) after maybeBatch so post-run state reads — health
+// counters, innovations, further scalar stepping — see the run.
+func flushBatch(ctrl core.ArchController) {
+	if b, ok := ctrl.(*batchLoop); ok {
+		_ = b.e.ExtractTo(b.id, b.src)
+	}
+}

@@ -208,6 +208,8 @@ func runFaulted(ctrl core.ArchController, w sim.Workload, fc FaultClass, seed in
 	})
 	defer finishFlightRec(rec, ctrl, "faults_"+fc.Name+"_"+ctrl.Name())
 	wireLoopObs(ctrl, "faults/"+fc.Name+"/"+ctrl.Name())
+	ctrl = maybeBatch(ctrl, rec)
+	defer flushBatch(ctrl)
 	row := FaultRow{Class: fc.Name, Arch: ctrl.Name()}
 	applyObs, observes := ctrl.(supervisor.ApplyObserver)
 

@@ -1,0 +1,75 @@
+package lqg
+
+import (
+	"fmt"
+
+	"mimoctl/internal/mat"
+)
+
+// RuntimeState is a snapshot of the mutable per-controller vectors the
+// servo loop evolves: the Kalman one-step-ahead estimate, the last
+// issued input, the tracking integrators, the last actuation excess and
+// innovation, and the current reference with its steady-state targets.
+// It is the unit of state the batched structure-of-arrays engine
+// (internal/batch) loads from and stores back into a scalar controller,
+// so the two paths can hand a live loop back and forth bit-identically.
+type RuntimeState struct {
+	Xhat       []float64 // one-step-ahead state estimate (order)
+	UPrev      []float64 // last issued input, deviation coordinates (inputs)
+	ZInt       []float64 // integrator states (outputs)
+	LastExcess []float64 // u_requested - u_applied from the last actuation (inputs)
+	LastInnov  []float64 // innovation y - C x̂ from the last Step (outputs)
+	Ref        []float64 // current output reference, deviation coordinates (outputs)
+	Xss        []float64 // steady-state state target (order)
+	Uss        []float64 // steady-state input target (inputs)
+}
+
+// State returns a deep copy of the controller's runtime state.
+func (c *Controller) State() RuntimeState {
+	return RuntimeState{
+		Xhat:       append([]float64(nil), c.xhat...),
+		UPrev:      append([]float64(nil), c.uPrev...),
+		ZInt:       append([]float64(nil), c.zInt...),
+		LastExcess: append([]float64(nil), c.lastExcess...),
+		LastInnov:  append([]float64(nil), c.lastInnov...),
+		Ref:        append([]float64(nil), c.ref...),
+		Xss:        append([]float64(nil), c.xss...),
+		Uss:        append([]float64(nil), c.uss...),
+	}
+}
+
+// SetState restores a runtime-state snapshot taken with State (or
+// assembled by the batch engine). Every vector must match the plant's
+// dimensions; the snapshot is copied, not retained.
+func (c *Controller) SetState(s RuntimeState) error {
+	p := c.plant
+	n, ni, no := p.Order(), p.Inputs(), p.Outputs()
+	if len(s.Xhat) != n || len(s.Xss) != n {
+		return fmt.Errorf("lqg: state/xss have %d/%d entries, want %d", len(s.Xhat), len(s.Xss), n)
+	}
+	if len(s.UPrev) != ni || len(s.LastExcess) != ni || len(s.Uss) != ni {
+		return fmt.Errorf("lqg: input-shaped state has %d/%d/%d entries, want %d",
+			len(s.UPrev), len(s.LastExcess), len(s.Uss), ni)
+	}
+	if len(s.ZInt) != no || len(s.LastInnov) != no || len(s.Ref) != no {
+		return fmt.Errorf("lqg: output-shaped state has %d/%d/%d entries, want %d",
+			len(s.ZInt), len(s.LastInnov), len(s.Ref), no)
+	}
+	c.xhat = append(c.xhat[:0], s.Xhat...)
+	c.uPrev = append(c.uPrev[:0], s.UPrev...)
+	c.zInt = append(c.zInt[:0], s.ZInt...)
+	c.lastExcess = append(c.lastExcess[:0], s.LastExcess...)
+	c.lastInnov = append(c.lastInnov[:0], s.LastInnov...)
+	c.ref = append(c.ref[:0], s.Ref...)
+	c.xss = append(c.xss[:0], s.Xss...)
+	c.uss = append(c.uss[:0], s.Uss...)
+	if c.ws == nil {
+		c.ws = newStepWorkspace(p)
+	}
+	return nil
+}
+
+// TargetGain returns a copy of the reference-to-target calculator:
+// [x_ss; u_ss] = TargetGain · r. The batch engine replays SetReference
+// with it so batched target changes reproduce the scalar arithmetic.
+func (c *Controller) TargetGain() *mat.Matrix { return c.targetGain.Clone() }

@@ -6,6 +6,7 @@
 #   BENCHTIME=2s OUT=bench.json ./scripts/bench.sh
 #   PARALLEL=1 ./scripts/bench.sh          # engine benches -> BENCH_parallel.json
 #   OBS=1 ./scripts/bench.sh               # observability overhead -> BENCH_obs.json
+#   BATCH=1 ./scripts/bench.sh             # batched fleet backend -> BENCH_batch.json
 #
 # The JSON stream is `go test -json` output: one object per line, with
 # benchmark results in the Output fields of "output" actions. Compare
@@ -16,6 +17,13 @@
 # fleet / fleet+metrics / fleet+events — events-off must stay at
 # 0 allocs/op, also gated by TestObsOffStepAllocFree) and the full
 # experiment suite with the plane detached vs attached (<5% budget).
+#
+# BATCH=1 runs the batched structure-of-arrays fleet benchmarks: the
+# 1024-loop scalar fleet baseline vs the batch engine (root package,
+# both reporting ns/lanestep and epochs/sec) plus the batch kernel's
+# own 0 allocs/op benchmark. make bench-batch wraps this with the
+# benchcmp alloc + >=5x speedup gates. Use a time-based BENCHTIME
+# (e.g. 3s) for a meaningful throughput ratio.
 #
 # PARALLEL=1 runs only the parallel experiment engine benchmarks:
 # BenchmarkExpAll (the full suite at 0/1/4 workers) and the runner's
@@ -33,6 +41,10 @@ if [ "${OBS:-0}" = "1" ]; then
     out="${OUT:-BENCH_obs.json}"
     echo "== go test -bench 'SupervisedStepObs|ObsSuiteOverhead' -benchtime $benchtime -> $out"
     go test -run '^$' -bench 'SupervisedStepObs|ObsSuiteOverhead' -benchmem -benchtime "$benchtime" -json . > "$out"
+elif [ "${BATCH:-0}" = "1" ]; then
+    out="${OUT:-BENCH_batch.json}"
+    echo "== go test -bench '(FleetScalarStep1024|FleetBatchStep1024|BatchStep)\$' -benchtime $benchtime -> $out"
+    go test -run '^$' -bench '(FleetScalarStep1024|FleetBatchStep1024|BatchStep)$' -benchmem -benchtime "$benchtime" -json . ./internal/batch > "$out"
 elif [ "${PARALLEL:-0}" = "1" ]; then
     out="${OUT:-BENCH_parallel.json}"
     echo "== go test -bench 'ExpAll|RunnerWallClock' -benchtime $benchtime -> $out"
