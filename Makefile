@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-obs bench-batch benchcmp cover fuzz golden golden-doctor
+.PHONY: check vet build test race bench bench-obs bench-batch bench-batchsup benchcmp cover fuzz golden golden-doctor
 
 # check is the default verify flow: vet + build + race-enabled tests.
 check:
@@ -21,6 +21,7 @@ fuzz:
 	$(GO) test ./internal/experiments/ -run '^$$' -fuzz FuzzSteadyStateEpochEMA -fuzztime $(or $(FUZZTIME),10s)
 	$(GO) test ./internal/batch/ -run '^$$' -fuzz FuzzBatchVsScalarStep -fuzztime $(or $(FUZZTIME),10s)
 	$(GO) test ./internal/batch/ -run '^$$' -fuzz FuzzQuantHysteresis -fuzztime $(or $(FUZZTIME),10s)
+	$(GO) test ./internal/batch/ -run '^$$' -fuzz FuzzSupervisedBatchVsScalar -fuzztime $(or $(FUZZTIME),10s)
 
 # golden re-records the golden regression CSVs after an intentional
 # output change; review the diff like code.
@@ -58,6 +59,19 @@ bench-batch:
 		-speedup BenchmarkFleetScalarStep1024/BenchmarkFleetBatchStep1024 \
 		-speedup-unit ns/lanestep -min-speedup $(MIN_SPEEDUP) \
 		BENCH_batch.json BENCH_batch_new.json
+
+# bench-batchsup re-measures the batched supervised lane tier into
+# BENCH_batchsup_new.json and gates it against the committed
+# BENCH_batchsup.json: the fused supervisor kernel must stay at
+# 0 allocs/op and the scalar supervised fleet's ns/lanestep over the
+# batch tier's must stay >= 3x (MIN_SUP_SPEEDUP overrides the floor).
+MIN_SUP_SPEEDUP ?= 3
+bench-batchsup:
+	BATCHSUP=1 BENCHTIME=$(or $(BENCHTIME),3s) OUT=BENCH_batchsup_new.json ./scripts/bench.sh
+	$(GO) run ./cmd/benchcmp -gate 'BenchmarkBatchSupervisedStep$$' \
+		-speedup BenchmarkFleetSupervisedScalar1024/BenchmarkFleetSupervisedBatch1024 \
+		-speedup-unit ns/lanestep -min-speedup $(MIN_SUP_SPEEDUP) \
+		BENCH_batchsup.json BENCH_batchsup_new.json
 
 # benchcmp re-runs the engine benchmarks into BENCH_alloc.json and
 # diffs them against the committed BENCH_parallel.json baseline,

@@ -36,7 +36,7 @@ func main() {
 		frDir       = flag.String("flightrec-dir", "", "attach a flight recorder to every recordable run and dump each ring to this directory; empty disables")
 		obsOn       = flag.Bool("obs", false, "attach the fleet observability plane: per-loop scoped metrics, control SLOs on /slo, live events on /events (watch with cmd/mimostat)")
 		eventsPath  = flag.String("events", "", "write one JSONL event per engaged epoch per loop to this file (implies -obs)")
-		batchOn     = flag.Bool("batch", false, "step MIMO loops on the batched structure-of-arrays backend (bit-identical output; loops with a flight recorder attached stay scalar)")
+		batchOn     = flag.Bool("batch", false, "step MIMO and supervised loops on the batched structure-of-arrays backend (bit-identical output; loops with a flight recorder or adapter attached stay scalar)")
 	)
 	flag.Parse()
 	outputCSV = *format == "csv"

@@ -67,3 +67,22 @@ func BenchmarkBatchStep(b *testing.B) {
 	nsPerLane := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / 1024
 	b.ReportMetric(nsPerLane, "ns/lanestep")
 }
+
+// BenchmarkBatchSupervisedStep measures the fused supervised kernel
+// (sanitize → LQG step → monitor EMAs → quantize) per lane over a
+// 1024-lane fleet warmed past its grace period. CI gates this benchmark
+// at 0 allocs/op via benchcmp.
+func BenchmarkBatchSupervisedStep(b *testing.B) {
+	e, tels, outs, cleanup := supAllocFleet(b, 1024, false)
+	defer cleanup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.StepAll(tels, outs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	nsPerLane := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / 1024
+	b.ReportMetric(nsPerLane, "ns/lanestep")
+}

@@ -103,40 +103,56 @@ func (e *Engine) inputs(id int) int {
 // ablation variants, foreign shapes — is rejected so the caller keeps
 // it on the scalar path.
 func (e *Engine) Add(s core.BatchState) (int, error) {
+	if err := validateState(s); err != nil {
+		return -1, err
+	}
+	id := e.allocLane()
+	e.load(id, s)
+	e.active[id] = true
+	e.n++
+	return id, nil
+}
+
+// validateState checks a controller snapshot against the fixed shapes
+// the kernels are specialized for.
+func validateState(s core.BatchState) error {
 	ni := 2
 	if s.ThreeInput {
 		ni = 3
 	}
 	if !s.Opts.DeltaU || !s.Opts.Integral {
-		return -1, errors.New("batch: only the ΔU+integral servo structure is batchable")
+		return errors.New("batch: only the ΔU+integral servo structure is batchable")
 	}
 	if s.A == nil || s.A.Rows() != Order || s.A.Cols() != Order ||
 		s.B == nil || s.B.Rows() != Order || s.B.Cols() != ni ||
 		s.C == nil || s.C.Rows() != Outputs || s.C.Cols() != Order {
-		return -1, fmt.Errorf("batch: plant shape not %dx%dx%d", Order, ni, Outputs)
+		return fmt.Errorf("batch: plant shape not %dx%dx%d", Order, ni, Outputs)
 	}
 	if s.Kx == nil || s.Kx.Rows() != ni || s.Kx.Cols() != Order ||
 		s.Ku == nil || s.Ku.Rows() != ni || s.Ku.Cols() != ni ||
 		s.Kz == nil || s.Kz.Rows() != ni || s.Kz.Cols() != Outputs ||
 		s.Lc == nil || s.Lc.Rows() != Order || s.Lc.Cols() != Outputs ||
 		s.TargetGain == nil || s.TargetGain.Rows() != Order+ni || s.TargetGain.Cols() != Outputs {
-		return -1, errors.New("batch: gain shapes do not match the specialized kernels")
+		return errors.New("batch: gain shapes do not match the specialized kernels")
 	}
 	if len(s.Offsets.U0) != ni || len(s.Offsets.Y0) != Outputs {
-		return -1, errors.New("batch: operating-point offsets do not match the input shape")
+		return errors.New("batch: operating-point offsets do not match the input shape")
 	}
 	if len(s.LQG.Xhat) != Order || len(s.LQG.Xss) != Order ||
 		len(s.LQG.UPrev) != ni || len(s.LQG.Uss) != ni || len(s.LQG.LastExcess) != ni ||
 		len(s.LQG.ZInt) != Outputs || len(s.LQG.Ref) != Outputs || len(s.LQG.LastInnov) != Outputs {
-		return -1, errors.New("batch: runtime state does not match the plant shape")
+		return errors.New("batch: runtime state does not match the plant shape")
 	}
 	if s.HaveCur {
 		if err := s.Cur.Validate(); err != nil {
-			return -1, fmt.Errorf("batch: current config invalid: %w", err)
+			return fmt.Errorf("batch: current config invalid: %w", err)
 		}
 	}
+	return nil
+}
 
-	id := e.allocLane()
+// load copies a validated snapshot into lane id's slots.
+func (e *Engine) load(id int, s core.BatchState) {
 	copyMat(e.a[id*strideA:], s.A)
 	copyMat(e.b[id*strideB:], s.B)
 	copyMat(e.c[id*strideC:], s.C)
@@ -162,9 +178,21 @@ func (e *Engine) Add(s core.BatchState) (int, error) {
 	e.three[id] = s.ThreeInput
 	e.antiWindup[id] = !s.Opts.DisableAntiWindup
 	e.haveCur[id] = s.HaveCur
-	e.active[id] = true
-	e.n++
-	return id, nil
+}
+
+// SetLaneState overwrites an active lane with a fresh controller
+// snapshot (design and runtime), reusing the slot. The supervised
+// tier's re-admission path uses it to reload a lane from the scalar
+// twin that stepped through a fallback excursion.
+func (e *Engine) SetLaneState(id int, s core.BatchState) error {
+	if !e.Active(id) {
+		return fmt.Errorf("batch: lane %d is not active", id)
+	}
+	if err := validateState(s); err != nil {
+		return err
+	}
+	e.load(id, s)
+	return nil
 }
 
 // allocLane reuses a retired slot or grows every array by one stride.
@@ -367,8 +395,16 @@ func (e *Engine) StepAll(tels []sim.Telemetry, out []sim.Config) error {
 	if len(tels) < m || len(out) < m {
 		return fmt.Errorf("batch: need %d telemetry/output slots, have %d/%d", m, len(tels), len(out))
 	}
-	base := 0
-	for ; base+UnrollWidth <= m; base += UnrollWidth {
+	e.stepRange(0, m, tels, out)
+	return nil
+}
+
+// stepRange advances the live lanes in slot range [lo, hi). Lanes are
+// fully independent, so disjoint ranges may run concurrently (the
+// sharded driver relies on this).
+func (e *Engine) stepRange(lo, hi int, tels []sim.Telemetry, out []sim.Config) {
+	base := lo
+	for ; base+UnrollWidth <= hi; base += UnrollWidth {
 		for i := base; i < base+UnrollWidth; i++ {
 			if !e.active[i] {
 				continue
@@ -383,12 +419,11 @@ func (e *Engine) StepAll(tels []sim.Telemetry, out []sim.Config) error {
 			}
 		}
 	}
-	for i := base; i < m; i++ {
+	for i := base; i < hi; i++ {
 		if e.active[i] {
 			out[i] = e.step(i, &tels[i])
 		}
 	}
-	return nil
 }
 
 // StepLane advances one lane, returning its chosen configuration.

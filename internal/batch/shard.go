@@ -1,0 +1,99 @@
+package batch
+
+import (
+	"fmt"
+	"sync"
+
+	"mimoctl/internal/sim"
+)
+
+// shardRange splits n slots into `shards` contiguous ranges and returns
+// the k-th one. Ranges cover [0, n) exactly and differ in size by at
+// most one slot.
+func shardRange(n, shards, k int) (lo, hi int) {
+	return k * n / shards, (k + 1) * n / shards
+}
+
+// StepAllSharded is StepAll fanned out over `shards` workers, each
+// stepping a contiguous range of lane slots, with an epoch barrier
+// before returning. Lanes are independent, so the per-lane results and
+// state are byte-identical to the sequential StepAll at any shard
+// count (the differential suite pins this at 1/2/4). Intended for
+// multi-core hosts driving very large fleets; on one core it is just
+// StepAll plus scheduling overhead.
+func (e *Engine) StepAllSharded(tels []sim.Telemetry, out []sim.Config, shards int) error {
+	m := len(e.active)
+	if len(tels) < m || len(out) < m {
+		return fmt.Errorf("batch: need %d telemetry/output slots, have %d/%d", m, len(tels), len(out))
+	}
+	if shards > m {
+		shards = m
+	}
+	if shards <= 1 {
+		e.stepRange(0, m, tels, out)
+		return nil
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < shards; k++ {
+		lo, hi := shardRange(m, shards, k)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			e.stepRange(lo, hi, tels, out)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return nil
+}
+
+// StepAllSharded fans the supervised fleet epoch out over `shards`
+// workers on contiguous lane ranges with an epoch barrier. Per-lane
+// results and state are byte-identical to the sequential StepAll at any
+// shard count: lanes touch only their own SoA slots, evicted twins are
+// per-lane objects, and each shard accumulates fleet events in its own
+// scratch, published in shard order after the barrier so per-lane event
+// streams stay ordered. (Cross-lane interleaving on the bus differs
+// from the sequential driver; consumers already cannot rely on it — the
+// bus is multi-producer.)
+func (e *SupEngine) StepAllSharded(tels []sim.Telemetry, out []sim.Config, shards int) error {
+	m := len(e.mimo.active)
+	if len(tels) < m || len(out) < m {
+		return fmt.Errorf("batch: need %d telemetry/output slots, have %d/%d", m, len(tels), len(out))
+	}
+	if shards > m {
+		shards = m
+	}
+	if shards <= 1 {
+		return e.StepAll(tels, out)
+	}
+	for len(e.shardEvents) < shards {
+		e.shardEvents = append(e.shardEvents, nil)
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < shards; k++ {
+		lo, hi := shardRange(m, shards, k)
+		e.shardEvents[k] = e.shardEvents[k][:0]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if e.mimo.active[i] {
+					e.stepInto(i, tels, out, &e.shardEvents[k])
+				}
+			}
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	for k := 0; k < shards; k++ {
+		if len(e.shardEvents[k]) > 0 {
+			e.bus.PublishBatch(e.shardEvents[k])
+		}
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"mimoctl/internal/core"
 	"mimoctl/internal/flightrec"
 	"mimoctl/internal/sim"
+	"mimoctl/internal/supervisor"
 )
 
 // batchStepping selects the batched structure-of-arrays fleet backend
@@ -20,6 +21,10 @@ var batchStepping atomic.Bool
 // the golden regression can prove it exercised the batch path rather
 // than passing vacuously (e.g. with flight recording force-enabled).
 var batchWraps atomic.Int64
+
+// batchSupWraps counts supervised loops taken over by the supervised
+// lane tier, for the same vacuity proof.
+var batchSupWraps atomic.Int64
 
 // SetBatchStepping selects (true) or deselects (false) the batched
 // fleet backend for subsequent experiment runs.
@@ -45,26 +50,53 @@ func (b *batchLoop) Targets() (ips, power float64)    { return b.e.Targets(b.id)
 func (b *batchLoop) Step(t sim.Telemetry) sim.Config  { return b.e.StepLane(b.id, t) }
 func (b *batchLoop) Reset()                           { b.e.Reset(b.id) }
 
-// maybeBatch swaps a bare MIMO controller for a batch-engine lane
-// seeded with its current state. Everything else stays on the scalar
-// path: the batch kernels do not record flight data (rec != nil),
-// supervised/baseline controllers are not MIMO lanes, and shapes the
-// kernels are not specialized for (ablation variants) are rejected by
-// the engine at load time.
+// supBatchLoop adapts one supervised engine lane to core.ArchController
+// plus supervisor.ApplyObserver. The lane owns the live state (and the
+// escape hatch owns the wrapped supervisor as its scalar twin);
+// flushBatch makes the scalar objects authoritative again at run end.
+type supBatchLoop struct {
+	e    *batch.SupEngine
+	id   int
+	name string
+	src  *supervisor.Supervised
+}
+
+func (b *supBatchLoop) Name() string                          { return b.name }
+func (b *supBatchLoop) SetTargets(ips, power float64)         { b.e.SetTargets(b.id, ips, power) }
+func (b *supBatchLoop) Targets() (ips, power float64)         { return b.e.Targets(b.id) }
+func (b *supBatchLoop) Step(t sim.Telemetry) sim.Config       { return b.e.StepLane(b.id, t) }
+func (b *supBatchLoop) Reset()                                { b.e.Reset(b.id) }
+func (b *supBatchLoop) ObserveApply(cfg sim.Config, err error) { b.e.ObserveApply(b.id, cfg, err) }
+
+// maybeBatch swaps a bare MIMO controller — or a supervised controller
+// wrapping one — for a batch-engine lane seeded with its current state.
+// Everything else stays on the scalar path: the batch kernels do not
+// record flight data (rec != nil), supervisors with an adaptation loop
+// or flight recorder are declined at admission (they evict immediately
+// and forever — pointless), baseline/heuristic controllers are not MIMO
+// lanes, and shapes the kernels are not specialized for (ablation
+// variants) are rejected by the engine at load time.
 func maybeBatch(ctrl core.ArchController, rec *flightrec.Recorder) core.ArchController {
 	if !batchStepping.Load() || rec != nil {
 		return ctrl
 	}
-	mc, ok := ctrl.(*core.MIMOController)
-	if !ok {
-		return ctrl
+	switch c := ctrl.(type) {
+	case *core.MIMOController:
+		e, id, err := batch.FromController(c)
+		if err != nil {
+			return ctrl
+		}
+		batchWraps.Add(1)
+		return &batchLoop{e: e, id: id, name: c.Name(), src: c}
+	case *supervisor.Supervised:
+		e, id, err := batch.FromSupervised(c)
+		if err != nil {
+			return ctrl
+		}
+		batchSupWraps.Add(1)
+		return &supBatchLoop{e: e, id: id, name: c.Name(), src: c}
 	}
-	e, id, err := batch.FromController(mc)
-	if err != nil {
-		return ctrl
-	}
-	batchWraps.Add(1)
-	return &batchLoop{e: e, id: id, name: mc.Name(), src: mc}
+	return ctrl
 }
 
 // flushBatch stores a batch lane's final state back into the scalar
@@ -72,7 +104,26 @@ func maybeBatch(ctrl core.ArchController, rec *flightrec.Recorder) core.ArchCont
 // it (deferred) after maybeBatch so post-run state reads — health
 // counters, innovations, further scalar stepping — see the run.
 func flushBatch(ctrl core.ArchController) {
-	if b, ok := ctrl.(*batchLoop); ok {
+	switch b := ctrl.(type) {
+	case *batchLoop:
 		_ = b.e.ExtractTo(b.id, b.src)
+	case *supBatchLoop:
+		b.e.Flush(b.id)
 	}
+}
+
+// supervisedOf returns the supervised controller behind ctrl — flushing
+// a batch lane's live state back into it first — or nil when ctrl is
+// not supervised. Harness code reading supervisor health/state after a
+// run must use this instead of a bare type assertion, or batched
+// supervised loops would silently read as unsupervised.
+func supervisedOf(ctrl core.ArchController) *supervisor.Supervised {
+	switch c := ctrl.(type) {
+	case *supervisor.Supervised:
+		return c
+	case *supBatchLoop:
+		c.e.Flush(c.id)
+		return c.src
+	}
+	return nil
 }

@@ -257,7 +257,7 @@ func runFaulted(ctrl core.ArchController, w sim.Workload, fc FaultClass, seed in
 		row.PowerErrPct = 100 * rSumP / float64(rN)
 		row.IPSErrPct = 100 * rSumI / float64(rN)
 	}
-	if sup, ok := ctrl.(*supervisor.Supervised); ok {
+	if sup := supervisedOf(ctrl); sup != nil {
 		h := sup.Health()
 		row.Sanitized = h.SanitizedIPS + h.SanitizedPower
 		row.Fallbacks = h.Fallbacks

@@ -145,6 +145,7 @@ func TestGoldenBatchIdentical(t *testing.T) {
 	}()
 
 	before := batchWraps.Load()
+	beforeSup := batchSupWraps.Load()
 	for _, workers := range []int{0, 4} {
 		for _, c := range goldenCases() {
 			c, workers := c, workers
@@ -163,6 +164,9 @@ func TestGoldenBatchIdentical(t *testing.T) {
 	}
 	if batchWraps.Load() == before {
 		t.Fatal("batch backend never engaged; the comparison above was vacuous")
+	}
+	if batchSupWraps.Load() == beforeSup {
+		t.Fatal("supervised batch tier never engaged; the supervised rows above ran scalar")
 	}
 }
 

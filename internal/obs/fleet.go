@@ -200,8 +200,30 @@ const rmsAlpha = 1.0 / 256
 // the sample) so call sites need no events-on check; the whole path is
 // allocation-free (TestObserveAllocFree).
 func (l *Loop) Observe(s Sample) {
+	var ev Event
+	if l.ObserveInto(s, &ev) {
+		l.fleet.opts.Bus.Publish(&ev)
+	}
+}
+
+// Bus returns the event bus of the owning fleet (nil when events are
+// off or the loop handle is nil).
+func (l *Loop) Bus() *Bus {
 	if l == nil {
-		return
+		return nil
+	}
+	return l.fleet.opts.Bus
+}
+
+// ObserveInto is Observe with the bus publish factored out: it folds
+// the sample into the loop's SLO and gauge state exactly as Observe
+// does and, when the fleet carries a bus, fills ev with the event
+// Observe would have published and reports true. The batched supervised
+// tier uses it to accumulate one fleet epoch's events and ship them in
+// a single bulk PublishBatch instead of N ring reservations.
+func (l *Loop) ObserveInto(s Sample, ev *Event) bool {
+	if l == nil {
+		return false
 	}
 	l.mu.Lock()
 	l.epoch++
@@ -277,17 +299,18 @@ func (l *Loop) Observe(s Sample) {
 		publishGlobal(l.fleet.verdict())
 	}
 
-	if bus := l.fleet.opts.Bus; bus != nil {
-		ev := Event{
-			LoopID: l.id, Epoch: epoch,
-			Mode: s.Mode, Health: s.Health, Adapt: s.Adapt, Flags: s.Flags,
-			IPSTarget: s.IPSTarget, PowerTarget: s.PowerTarget,
-			IPS: s.IPS, PowerW: s.PowerW,
-			InnovNorm: s.InnovNorm, Guardband: s.Guardband,
-			ReqFreq: s.ReqFreq, ReqCache: s.ReqCache, ReqROB: s.ReqROB,
-		}
-		bus.Publish(&ev)
+	if l.fleet.opts.Bus == nil {
+		return false
 	}
+	*ev = Event{
+		LoopID: l.id, Epoch: epoch,
+		Mode: s.Mode, Health: s.Health, Adapt: s.Adapt, Flags: s.Flags,
+		IPSTarget: s.IPSTarget, PowerTarget: s.PowerTarget,
+		IPS: s.IPS, PowerW: s.PowerW,
+		InnovNorm: s.InnovNorm, Guardband: s.Guardband,
+		ReqFreq: s.ReqFreq, ReqCache: s.ReqCache, ReqROB: s.ReqROB,
+	}
+	return true
 }
 
 func (f *Fleet) bump(ctr *atomic.Int64, up bool) {

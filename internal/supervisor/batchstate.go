@@ -1,0 +1,103 @@
+package supervisor
+
+import "mimoctl/internal/sim"
+
+// BatchState is a value snapshot of the supervised runtime's per-loop
+// state, in the same spirit as core.BatchState for the inner
+// controller: everything the batched supervised tier (internal/batch)
+// must carry per lane to replay the scalar runtime bit for bit. The
+// inner controller's own state is NOT included — it round-trips
+// separately through core.MIMOController.BatchState.
+type BatchState struct {
+	Mode                   Mode
+	IPSTarget, PowerTarget float64
+
+	// Sanitization state.
+	GoodIPS, GoodPower   float64
+	HaveGood             bool
+	StaleIPS, StalePower int
+	GoodL1, GoodL2       float64
+
+	// Model-health state.
+	Grace            int
+	EMAInnov, EMAErr float64
+	SickStreak       int
+
+	// Actuation state.
+	ApplyOK                         bool
+	FailStreak, Backoff, HoldEpochs int
+	LastRequested                   sim.Config
+	HaveRequested                   bool
+
+	// Fallback/hysteresis state.
+	FallbackEpochs, HealthyStreak int
+
+	Health Health
+}
+
+// BatchState snapshots the supervised runtime state for the batched
+// fleet backend (or any other state round-trip).
+func (s *Supervised) BatchState() BatchState {
+	return BatchState{
+		Mode:           s.mode,
+		IPSTarget:      s.ipsTarget,
+		PowerTarget:    s.powerTarget,
+		GoodIPS:        s.goodIPS,
+		GoodPower:      s.goodPower,
+		HaveGood:       s.haveGood,
+		StaleIPS:       s.staleIPS,
+		StalePower:     s.stalePower,
+		GoodL1:         s.goodL1,
+		GoodL2:         s.goodL2,
+		Grace:          s.grace,
+		EMAInnov:       s.emaInnov,
+		EMAErr:         s.emaErr,
+		SickStreak:     s.sickStreak,
+		ApplyOK:        s.applyOK,
+		FailStreak:     s.failStreak,
+		Backoff:        s.backoff,
+		HoldEpochs:     s.holdEpochs,
+		LastRequested:  s.lastRequested,
+		HaveRequested:  s.haveRequested,
+		FallbackEpochs: s.fallbackEpochs,
+		HealthyStreak:  s.healthyStreak,
+		Health:         s.health,
+	}
+}
+
+// SetBatchState restores a snapshot taken by BatchState. The inner
+// controller is left untouched: restore its state separately (the
+// batched tier extracts the inner lane back into the wrapped
+// MIMOController before calling this).
+func (s *Supervised) SetBatchState(bs BatchState) {
+	s.mode = bs.Mode
+	s.ipsTarget, s.powerTarget = bs.IPSTarget, bs.PowerTarget
+	s.goodIPS, s.goodPower = bs.GoodIPS, bs.GoodPower
+	s.haveGood = bs.HaveGood
+	s.staleIPS, s.stalePower = bs.StaleIPS, bs.StalePower
+	s.goodL1, s.goodL2 = bs.GoodL1, bs.GoodL2
+	s.grace = bs.Grace
+	s.emaInnov, s.emaErr = bs.EMAInnov, bs.EMAErr
+	s.sickStreak = bs.SickStreak
+	s.applyOK = bs.ApplyOK
+	s.failStreak, s.backoff, s.holdEpochs = bs.FailStreak, bs.Backoff, bs.HoldEpochs
+	s.lastRequested = bs.LastRequested
+	s.haveRequested = bs.HaveRequested
+	s.fallbackEpochs, s.healthyStreak = bs.FallbackEpochs, bs.HealthyStreak
+	s.health = bs.Health
+}
+
+// RuntimeOptions returns the supervisor's effective (defaulted)
+// options. The batched tier copies the thresholds out of it so its
+// fused kernel evaluates exactly the limits the scalar path would.
+func (s *Supervised) RuntimeOptions() Options { return s.opts }
+
+// Nominal reports whether the supervisor is on the pure engaged fast
+// path: engaged mode, healthy actuation, and no retry/backoff in
+// flight. This is the state the batched supervised kernel replicates;
+// anything else steps scalar (the batch tier evicts the lane to its
+// scalar twin and re-admits once Nominal holds again).
+func (s *Supervised) Nominal() bool {
+	return s.mode == ModeEngaged && s.applyOK &&
+		s.failStreak == 0 && s.backoff == 0 && s.holdEpochs == 0
+}

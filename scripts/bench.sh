@@ -7,6 +7,7 @@
 #   PARALLEL=1 ./scripts/bench.sh          # engine benches -> BENCH_parallel.json
 #   OBS=1 ./scripts/bench.sh               # observability overhead -> BENCH_obs.json
 #   BATCH=1 ./scripts/bench.sh             # batched fleet backend -> BENCH_batch.json
+#   BATCHSUP=1 ./scripts/bench.sh          # batched supervised tier -> BENCH_batchsup.json
 #
 # The JSON stream is `go test -json` output: one object per line, with
 # benchmark results in the Output fields of "output" actions. Compare
@@ -24,6 +25,12 @@
 # own 0 allocs/op benchmark. make bench-batch wraps this with the
 # benchcmp alloc + >=5x speedup gates. Use a time-based BENCHTIME
 # (e.g. 3s) for a meaningful throughput ratio.
+#
+# BATCHSUP=1 runs the batched supervised-tier benchmarks: the 1024-loop
+# scalar supervised fleet baseline vs the fused SoA supervisor kernel
+# (root package, ns/lanestep and epochs/sec) plus that kernel's own
+# 0 allocs/op benchmark. make bench-batchsup wraps this with the
+# benchcmp alloc + >=3x speedup gates.
 #
 # PARALLEL=1 runs only the parallel experiment engine benchmarks:
 # BenchmarkExpAll (the full suite at 0/1/4 workers) and the runner's
@@ -45,6 +52,10 @@ elif [ "${BATCH:-0}" = "1" ]; then
     out="${OUT:-BENCH_batch.json}"
     echo "== go test -bench '(FleetScalarStep1024|FleetBatchStep1024|BatchStep)\$' -benchtime $benchtime -> $out"
     go test -run '^$' -bench '(FleetScalarStep1024|FleetBatchStep1024|BatchStep)$' -benchmem -benchtime "$benchtime" -json . ./internal/batch > "$out"
+elif [ "${BATCHSUP:-0}" = "1" ]; then
+    out="${OUT:-BENCH_batchsup.json}"
+    echo "== go test -bench '(FleetSupervisedScalar1024|FleetSupervisedBatch1024|BatchSupervisedStep)\$' -benchtime $benchtime -> $out"
+    go test -run '^$' -bench '(FleetSupervisedScalar1024|FleetSupervisedBatch1024|BatchSupervisedStep)$' -benchmem -benchtime "$benchtime" -json . ./internal/batch > "$out"
 elif [ "${PARALLEL:-0}" = "1" ]; then
     out="${OUT:-BENCH_parallel.json}"
     echo "== go test -bench 'ExpAll|RunnerWallClock' -benchtime $benchtime -> $out"
