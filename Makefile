@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-obs bench-batch bench-batchsup benchcmp cover fuzz golden golden-doctor
+.PHONY: check vet build test race bench bench-obs bench-batch bench-batchsup bench-tsdb benchcmp cover fuzz golden golden-doctor golden-tsdb
 
 # check is the default verify flow: vet + build + race-enabled tests.
 check:
@@ -22,6 +22,7 @@ fuzz:
 	$(GO) test ./internal/batch/ -run '^$$' -fuzz FuzzBatchVsScalarStep -fuzztime $(or $(FUZZTIME),10s)
 	$(GO) test ./internal/batch/ -run '^$$' -fuzz FuzzQuantHysteresis -fuzztime $(or $(FUZZTIME),10s)
 	$(GO) test ./internal/batch/ -run '^$$' -fuzz FuzzSupervisedBatchVsScalar -fuzztime $(or $(FUZZTIME),10s)
+	$(GO) test ./internal/tsdb/ -run '^$$' -fuzz FuzzBlockRoundTrip -fuzztime $(or $(FUZZTIME),10s)
 
 # golden re-records the golden regression CSVs after an intentional
 # output change; review the diff like code.
@@ -34,6 +35,13 @@ golden:
 # recording-format or control-loop change.
 golden-doctor:
 	$(GO) test ./internal/experiments/ -run TestGoldenDoctorDump -update
+
+# golden-tsdb re-records the committed baseline telemetry snapshot
+# (testdata/golden/tsdb_baseline.json) the drift detector scores live
+# runs against; needed after an intentional control-loop or
+# history-recording change. Review the stat drift like code.
+golden-tsdb:
+	$(GO) test ./internal/experiments/ -run TestHistoryBaselineDrift -update
 
 # bench runs the benchmark suite (paper figures + substrate hot paths +
 # telemetry overhead) and writes BENCH_seed.json; see scripts/bench.sh
@@ -72,6 +80,20 @@ bench-batchsup:
 		-speedup BenchmarkFleetSupervisedScalar1024/BenchmarkFleetSupervisedBatch1024 \
 		-speedup-unit ns/lanestep -min-speedup $(MIN_SUP_SPEEDUP) \
 		BENCH_batchsup.json BENCH_batchsup_new.json
+
+# bench-tsdb re-measures the telemetry-history overhead into
+# BENCH_tsdb_new.json and gates it against the committed
+# BENCH_tsdb.json: the recorder's batch ingest must stay at 0 allocs/op
+# and the full suite with history recording may cost at most ~5% over
+# the observability plane alone (detached/attached ns/op ratio >=
+# MIN_TSDB_RATIO; lower it on noisy shared runners).
+MIN_TSDB_RATIO ?= 0.95
+bench-tsdb:
+	TSDB=1 BENCHTIME=$(or $(BENCHTIME),3x) OUT=BENCH_tsdb_new.json ./scripts/bench.sh
+	$(GO) run ./cmd/benchcmp -gate 'BenchmarkTSDBIngest$$' \
+		-speedup BenchmarkTSDBSuiteDetached/BenchmarkTSDBSuiteAttached \
+		-speedup-unit ns/op -min-speedup $(MIN_TSDB_RATIO) \
+		BENCH_tsdb.json BENCH_tsdb_new.json
 
 # benchcmp re-runs the engine benchmarks into BENCH_alloc.json and
 # diffs them against the committed BENCH_parallel.json baseline,

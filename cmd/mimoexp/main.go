@@ -22,6 +22,7 @@ import (
 	"mimoctl/internal/runner"
 	"mimoctl/internal/supervisor"
 	"mimoctl/internal/telemetry"
+	"mimoctl/internal/tsdb"
 )
 
 func main() {
@@ -36,6 +37,9 @@ func main() {
 		frDir       = flag.String("flightrec-dir", "", "attach a flight recorder to every recordable run and dump each ring to this directory; empty disables")
 		obsOn       = flag.Bool("obs", false, "attach the fleet observability plane: per-loop scoped metrics, control SLOs on /slo, live events on /events (watch with cmd/mimostat)")
 		eventsPath  = flag.String("events", "", "write one JSONL event per engaged epoch per loop to this file (implies -obs)")
+		historyOn   = flag.Bool("history", false, "record per-loop telemetry history into the embedded time-series store, served on /history (implies -obs; watch with cmd/mimostat)")
+		basePath    = flag.String("baseline", "", "compare live history against this committed baseline snapshot and surface drift on /healthz (implies -history)")
+		baseOutPath = flag.String("baseline-out", "", "capture a baseline snapshot of this run's history to this path on exit (implies -history)")
 		batchOn     = flag.Bool("batch", false, "step MIMO and supervised loops on the batched structure-of-arrays backend (bit-identical output; loops with a flight recorder or adapter attached stay scalar)")
 	)
 	flag.Parse()
@@ -58,8 +62,10 @@ func main() {
 		experiments.EnableTelemetry(reg)
 	}
 
+	wantHistory := *historyOn || *basePath != "" || *baseOutPath != ""
 	var fleet *obs.Fleet
-	if *obsOn || *eventsPath != "" {
+	var hist *tsdb.DB
+	if *obsOn || *eventsPath != "" || wantHistory {
 		var sinks []obs.Sink
 		if *eventsPath != "" {
 			f, err := os.Create(*eventsPath)
@@ -70,6 +76,41 @@ func main() {
 			defer f.Close()
 			// The name resolver closes over fleet, assigned below.
 			sinks = append(sinks, obs.NewJSONLSink(f, func(id uint32) string { return fleet.LoopName(id) }))
+		}
+		var rec *tsdb.Recorder
+		if wantHistory {
+			hist = tsdb.New(tsdb.Options{})
+			rec = tsdb.NewRecorder(hist, func(id uint32) string { return fleet.LoopName(id) })
+			sinks = append(sinks, rec)
+			if *basePath != "" {
+				base, err := tsdb.ReadBaseline(*basePath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				det := tsdb.NewDetector(hist, base, 0, 0, tsdb.DriftConfig{})
+				rec.SetDetector(det)
+				supervisor.RegisterHealthzAnnotation("baseline-drift", det.Annotation)
+			}
+			// Registered before the bus-closing defer below so it runs after
+			// the bus has drained into the recorder.
+			defer func() {
+				rec.Sync()
+				if *baseOutPath == "" {
+					return
+				}
+				from, to, ok := hist.EpochRange()
+				if !ok {
+					fmt.Fprintln(os.Stderr, "baseline-out: no history recorded, nothing to capture")
+					return
+				}
+				b := tsdb.CaptureBaseline(hist, tsdb.BaselineSignals, from, to)
+				if err := tsdb.WriteBaseline(*baseOutPath, b); err != nil {
+					fmt.Fprintf(os.Stderr, "baseline-out: %v\n", err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "baseline captured to %s (epochs %d..%d)\n", *baseOutPath, from, to)
+			}()
 		}
 		bus := obs.NewBus(1<<14, sinks...)
 		defer func() {
@@ -88,6 +129,9 @@ func main() {
 		}
 		if fleet != nil {
 			opts.Extra = fleet.Endpoints()
+		}
+		if hist != nil {
+			opts.Extra = append(opts.Extra, hist.Endpoint())
 		}
 		srv, err := telemetry.StartServer(*metricsAddr, opts)
 		if err != nil {

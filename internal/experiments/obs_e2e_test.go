@@ -13,6 +13,7 @@ import (
 	"mimoctl/internal/sim"
 	"mimoctl/internal/supervisor"
 	"mimoctl/internal/telemetry"
+	"mimoctl/internal/tsdb"
 	"mimoctl/internal/workloads"
 )
 
@@ -100,9 +101,20 @@ func TestFleetObservabilityE2E(t *testing.T) {
 		}
 		detach()
 	}
-	// The final attached pass runs on the fleet the assertions inspect.
-	fleet, reg, detach := attach()
-	defer detach()
+	// The final attached pass runs on the fleet the assertions inspect —
+	// with the telemetry-history recorder tapped onto the bus as a second
+	// sink. The recorder rides the pump goroutine, not the publish path,
+	// but it stays out of the timed min-of-two passes above so the
+	// overhead gate keeps measuring the plane alone (the history cost is
+	// gated separately by BenchmarkTSDBSuite* via scripts/bench.sh).
+	reg := telemetry.NewRegistry()
+	hist := tsdb.New(tsdb.Options{})
+	var fleet *obs.Fleet
+	rec := tsdb.NewRecorder(hist, func(id uint32) string { return fleet.LoopName(id) })
+	bus := obs.NewBus(1<<14, rec)
+	fleet = obs.NewFleet(obs.Options{Registry: reg, Bus: bus})
+	SetObservability(fleet)
+	defer SetObservability(nil)
 	if d := drive(); d < withObs {
 		withObs = d
 	}
@@ -177,10 +189,19 @@ func TestFleetObservabilityE2E(t *testing.T) {
 		`loop_epochs_total{loop="e2e/loop-00"} 1200`,
 		`loop_fallback_epochs_total{loop="e2e/loop-03"}`,
 		`supervisor_epochs_total{loop="e2e/loop-00"} 1200`,
+		// Bus health is a first-class scrape: publish/drop accounting and
+		// the ring's occupancy high-water mark.
+		fmt.Sprintf("obs_bus_published_total %d", rep.EventsPublished),
+		fmt.Sprintf("obs_bus_dropped_total %d", rep.EventsDropped),
+		"obs_bus_occupancy_hwm",
+		"obs_bus_capacity 16384",
 	} {
 		if !strings.Contains(dump, want) {
 			t.Errorf("scoped series %s missing from registry dump", want)
 		}
+	}
+	if hwm := bus.OccupancyHWM(); hwm == 0 || hwm > uint64(bus.Cap()) {
+		t.Errorf("bus occupancy high-water mark %d not in (0, %d]", hwm, bus.Cap())
 	}
 	// Every engaged-or-fallback epoch offered one event to the bus; under
 	// flood the ring drops rather than block (back-pressure by design),
@@ -188,5 +209,51 @@ func TestFleetObservabilityE2E(t *testing.T) {
 	if total := rep.EventsPublished + rep.EventsDropped; total != nLoops*epochs {
 		t.Errorf("bus saw %d events (%d published + %d dropped), want %d",
 			total, rep.EventsPublished, rep.EventsDropped, nLoops*epochs)
+	}
+
+	// Drain the bus into the recorder, then reconcile history against the
+	// bus accounting: the recorder is a sink, so it sees exactly the
+	// published events — per-loop raw point counts must sum to
+	// EventsPublished ("mode" compresses to a couple of bits per sample,
+	// so 1200 epochs never evict from the default ring).
+	if err := bus.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Sync()
+	var histTotal uint64
+	var pts []tsdb.Point
+	for i := 0; i < nLoops; i++ {
+		pts = pts[:0]
+		pts, _ = hist.Query(pts, loopName(i), "mode", 0, epochs, tsdb.ResRaw)
+		histTotal += uint64(len(pts))
+	}
+	if histTotal != rep.EventsPublished {
+		t.Errorf("history holds %d points, want %d (one per published event)",
+			histTotal, rep.EventsPublished)
+	}
+	// The fault's signature survives in history for the early loops,
+	// whose events land before the sequential drive floods the ring
+	// (later loops may legitimately drop everything under back-pressure):
+	// a struck loop's recorded mode reaches fallback and a healthy loop's
+	// never leaves engaged (the sanitizer masks the NaNs out of the
+	// measurement signals, so mode — not track_err — carries the story).
+	for _, i := range []int{0, 3} {
+		pts = pts[:0]
+		pts, _ = hist.Query(pts, loopName(i), "mode", 0, epochs, tsdb.ResRaw)
+		if len(pts) == 0 {
+			t.Fatalf("loop %s has no mode history", loopName(i))
+		}
+		sawFallback := false
+		for _, p := range pts {
+			if p.Mean == float64(supervisor.ModeFallback) {
+				sawFallback = true
+			}
+		}
+		if faulty(i) && !sawFallback {
+			t.Errorf("faulty loop %s never recorded fallback mode across %d points", loopName(i), len(pts))
+		}
+		if !faulty(i) && sawFallback {
+			t.Errorf("healthy loop %s recorded fallback mode", loopName(i))
+		}
 	}
 }

@@ -28,10 +28,11 @@ type Bus struct {
 	slots []busSlot
 
 	head atomic.Uint64 // next producer position
-	tail uint64        // consumer position (pump goroutine only)
+	tail atomic.Uint64 // consumer position (written by the pump only)
 
 	published atomic.Uint64
 	dropped   atomic.Uint64
+	occHWM    atomic.Uint64 // high-water mark of head-tail at publish
 
 	wake chan struct{}
 	done chan struct{}
@@ -93,6 +94,7 @@ func (b *Bus) Publish(ev *Event) bool {
 				s.ev = *ev
 				s.seq.Store(pos + 1)
 				b.published.Add(1)
+				b.noteOccupancy(pos + 1)
 				select {
 				case b.wake <- struct{}{}:
 				default:
@@ -155,6 +157,7 @@ func (b *Bus) PublishBatch(evs []Event) int {
 			s.seq.Store(pos + uint64(i) + 1)
 		}
 		b.published.Add(uint64(n))
+		b.noteOccupancy(pos + uint64(n))
 		written += n
 		select {
 		case b.wake <- struct{}{}:
@@ -164,12 +167,57 @@ func (b *Bus) PublishBatch(evs []Event) int {
 	return written
 }
 
+// noteOccupancy folds the post-publish ring occupancy into the
+// high-water mark. head is the producer position just written; the
+// tail read may lag (the pump releases a slot's sequence before
+// advancing tail), which only ever rounds occupancy up — the HWM
+// stays a conservative pump-lag signal, clamped to the ring capacity
+// occupancy cannot truly exceed. Lock- and allocation-free.
+func (b *Bus) noteOccupancy(head uint64) {
+	occ := head - b.tail.Load()
+	if cap := uint64(len(b.slots)); occ > cap {
+		occ = cap
+	}
+	for {
+		cur := b.occHWM.Load()
+		if occ <= cur || b.occHWM.CompareAndSwap(cur, occ) {
+			return
+		}
+	}
+}
+
 // Stats reports cumulative publish accounting.
 func (b *Bus) Stats() (published, dropped, subscriberDropped uint64) {
 	if b == nil {
 		return 0, 0, 0
 	}
 	return b.published.Load(), b.dropped.Load(), b.subDrop.Load()
+}
+
+// Occupancy reports the ring entries currently awaiting the pump.
+func (b *Bus) Occupancy() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.head.Load() - b.tail.Load()
+}
+
+// OccupancyHWM reports the worst ring occupancy seen at publish time —
+// the pump-lag high-water mark: close to capacity means producers were
+// about to drop.
+func (b *Bus) OccupancyHWM() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.occHWM.Load()
+}
+
+// Cap reports the ring capacity in events.
+func (b *Bus) Cap() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.slots)
 }
 
 // SinkErr returns the first sink write error, if any.
@@ -228,13 +276,14 @@ func (b *Bus) pump() {
 			stopping = true
 		}
 		for {
-			s := &b.slots[b.tail&b.mask]
-			if s.seq.Load() != b.tail+1 {
+			tail := b.tail.Load()
+			s := &b.slots[tail&b.mask]
+			if s.seq.Load() != tail+1 {
 				break
 			}
 			batch = append(batch, s.ev)
-			s.seq.Store(b.tail + uint64(len(b.slots)))
-			b.tail++
+			s.seq.Store(tail + uint64(len(b.slots)))
+			b.tail.Store(tail + 1)
 			if len(batch) == cap(batch) {
 				b.flush(batch)
 				batch = batch[:0]

@@ -94,6 +94,33 @@ func TestBusDropsWhenFull(t *testing.T) {
 	}
 }
 
+func TestBusOccupancyHWM(t *testing.T) {
+	bus := NewBus(64)
+	defer bus.Close()
+	if bus.Cap() != 64 {
+		t.Fatalf("cap %d, want 64", bus.Cap())
+	}
+	// Flood until a drop: the publisher must have seen the ring at (or
+	// near) capacity, so the HWM is pinned high regardless of how fast
+	// the pump drains afterwards.
+	for i := 0; ; i++ {
+		ev := Event{Epoch: uint64(i)}
+		if !bus.Publish(&ev) {
+			break
+		}
+		if i > 1_000_000 {
+			t.Fatal("ring never filled")
+		}
+	}
+	hwm := bus.OccupancyHWM()
+	if hwm == 0 || hwm > uint64(bus.Cap()) {
+		t.Fatalf("occupancy HWM %d after a flood, want in (0, %d]", hwm, bus.Cap())
+	}
+	if occ := bus.Occupancy(); occ > uint64(bus.Cap()) {
+		t.Fatalf("instantaneous occupancy %d exceeds capacity", occ)
+	}
+}
+
 func TestBusNilSafe(t *testing.T) {
 	var bus *Bus
 	ev := Event{}
@@ -102,6 +129,9 @@ func TestBusNilSafe(t *testing.T) {
 	}
 	if p, d, s := bus.Stats(); p != 0 || d != 0 || s != 0 {
 		t.Fatal("nil bus reported nonzero stats")
+	}
+	if bus.Occupancy() != 0 || bus.OccupancyHWM() != 0 || bus.Cap() != 0 {
+		t.Fatal("nil bus reported nonzero occupancy accounting")
 	}
 	if err := bus.Close(); err != nil {
 		t.Fatalf("nil close: %v", err)

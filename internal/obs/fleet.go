@@ -67,6 +67,23 @@ func NewFleet(opts Options) *Fleet {
 		opts.Registry.SetScopeLimit(opts.ScopeLimit)
 	}
 	f := &Fleet{opts: opts, specs: opts.Specs, loops: make(map[string]*Loop)}
+	if bus := opts.Bus; bus != nil && opts.Registry.Enabled() {
+		// Bus health as first-class metrics: drops and pump lag are the
+		// two signals that say the observability plane itself is shedding
+		// load. Scrape-time reads of the bus's atomics — no write-through
+		// on the publish path.
+		reg := opts.Registry
+		reg.CounterFunc("obs_bus_published_total", "events accepted by the bus ring",
+			func() float64 { p, _, _ := bus.Stats(); return float64(p) })
+		reg.CounterFunc("obs_bus_dropped_total", "events dropped on a full bus ring",
+			func() float64 { _, d, _ := bus.Stats(); return float64(d) })
+		reg.CounterFunc("obs_bus_subscriber_dropped_total", "events dropped on slow live subscribers",
+			func() float64 { _, _, s := bus.Stats(); return float64(s) })
+		reg.GaugeFunc("obs_bus_occupancy_hwm", "pump-lag high-water mark: worst ring occupancy seen at publish",
+			func() float64 { return float64(bus.OccupancyHWM()) })
+		reg.GaugeFunc("obs_bus_capacity", "bus ring capacity in events",
+			func() float64 { return float64(bus.Cap()) })
+	}
 	if opts.PublishVerdict {
 		publishGlobal(f.verdict())
 	}

@@ -95,6 +95,38 @@ func TestFleetScopedMetrics(t *testing.T) {
 	}
 }
 
+func TestFleetBusMetrics(t *testing.T) {
+	reg := telemetryRegistry(t)
+	bus := NewBus(256)
+	defer bus.Close()
+	f := NewFleet(Options{Registry: reg, Bus: bus})
+	l := f.Register("cpu0")
+	for i := 0; i < 50; i++ {
+		l.Observe(goodSample())
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE obs_bus_published_total counter",
+		"# TYPE obs_bus_dropped_total counter",
+		"obs_bus_dropped_total 0",
+		"# TYPE obs_bus_occupancy_hwm gauge",
+		"obs_bus_capacity 256",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("bus metric %q missing:\n%s", want, out)
+		}
+	}
+	// The published counter reads the bus's live atomic at scrape time.
+	pub, _, _ := bus.Stats()
+	if pub != 50 || !strings.Contains(out, "obs_bus_published_total 50") {
+		t.Fatalf("published counter mismatch (bus says %d):\n%s", pub, out)
+	}
+}
+
 func TestFleetTargetChangeResetsSettling(t *testing.T) {
 	spec := Spec{
 		Name: "settle", Signal: SignalSettling, Threshold: 0.1, Grace: 5,

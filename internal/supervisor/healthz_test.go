@@ -75,6 +75,55 @@ func TestHealthzFoldsModelHealth(t *testing.T) {
 	}
 }
 
+func TestHealthzAnnotations(t *testing.T) {
+	health.ResetGlobal()
+	t.Cleanup(func() {
+		markMode(nil, ModeEngaged)
+		health.ResetGlobal()
+		RegisterHealthzAnnotation("test-a", nil)
+		RegisterHealthzAnnotation("test-b", nil)
+	})
+	markMode(nil, ModeEngaged)
+
+	// Inactive annotations leave the response untouched.
+	active := false
+	RegisterHealthzAnnotation("test-a", func() (string, bool) { return "drift on loop-3", active })
+	if ok, detail := Healthz(); !ok || detail != "supervisor engaged" {
+		t.Fatalf("inactive annotation leaked: ok=%v detail=%q", ok, detail)
+	}
+
+	// Active annotations warn without degrading.
+	active = true
+	if ok, detail := Healthz(); !ok || !strings.Contains(detail, "drift on loop-3") {
+		t.Fatalf("active annotation missing: ok=%v detail=%q", ok, detail)
+	}
+
+	// Sources render in registration order; re-registering replaces.
+	RegisterHealthzAnnotation("test-b", func() (string, bool) { return "second source", true })
+	RegisterHealthzAnnotation("test-a", func() (string, bool) { return "replaced detail", true })
+	_, detail := Healthz()
+	if !strings.Contains(detail, "replaced detail") || !strings.Contains(detail, "second source") {
+		t.Fatalf("replacement/order broken: %q", detail)
+	}
+	if strings.Contains(detail, "drift on loop-3") {
+		t.Fatalf("stale annotation survived replacement: %q", detail)
+	}
+
+	// Fallback still outranks annotations.
+	markMode(nil, ModeFallback)
+	if ok, detail := Healthz(); ok || strings.Contains(detail, "second source") {
+		t.Fatalf("fallback did not outrank annotations: ok=%v detail=%q", ok, detail)
+	}
+
+	// Removal restores the clean response.
+	markMode(nil, ModeEngaged)
+	RegisterHealthzAnnotation("test-a", nil)
+	RegisterHealthzAnnotation("test-b", nil)
+	if ok, detail := Healthz(); !ok || detail != "supervisor engaged" {
+		t.Fatalf("after removal: ok=%v detail=%q", ok, detail)
+	}
+}
+
 func TestSupervisedRecordsEveryEpoch(t *testing.T) {
 	inner := newFakeInner()
 	sup := New(inner, Options{})

@@ -3,6 +3,7 @@ package supervisor
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"mimoctl/internal/health"
@@ -100,6 +101,58 @@ func newSupMetrics(reg *telemetry.Registry) *supMetrics {
 	return m
 }
 
+// AnnotationFunc supplies one external warn-level Healthz annotation:
+// detail is appended to the healthy response while active is true.
+// Annotations never degrade the endpoint — they are the warn tier for
+// subsystems (like the telemetry-history baseline-drift detector) whose
+// findings merit operator attention but not a 503.
+type AnnotationFunc func() (detail string, active bool)
+
+var annotations struct {
+	mu      sync.Mutex
+	sources []string
+	fns     []AnnotationFunc
+}
+
+// RegisterHealthzAnnotation adds (or, for a repeated source, replaces)
+// a warn-level annotation source. Registering a nil fn removes the
+// source. Sources render in registration order.
+func RegisterHealthzAnnotation(source string, fn AnnotationFunc) {
+	annotations.mu.Lock()
+	defer annotations.mu.Unlock()
+	for i, s := range annotations.sources {
+		if s == source {
+			if fn == nil {
+				annotations.sources = append(annotations.sources[:i], annotations.sources[i+1:]...)
+				annotations.fns = append(annotations.fns[:i], annotations.fns[i+1:]...)
+			} else {
+				annotations.fns[i] = fn
+			}
+			return
+		}
+	}
+	if fn == nil {
+		return
+	}
+	annotations.sources = append(annotations.sources, source)
+	annotations.fns = append(annotations.fns, fn)
+}
+
+// activeAnnotations snapshots the registered sources and collects the
+// active ones.
+func activeAnnotations() []string {
+	annotations.mu.Lock()
+	fns := append([]AnnotationFunc(nil), annotations.fns...)
+	annotations.mu.Unlock()
+	var out []string
+	for _, fn := range fns {
+		if detail, active := fn(); active && detail != "" {
+			out = append(out, detail)
+		}
+	}
+	return out
+}
+
 // Healthz reports process health for the diagnostics endpoint: healthy
 // while the most recently transitioned supervisor is engaged, unhealthy
 // once one has entered the safe-state fallback. When a model-health
@@ -136,6 +189,7 @@ func Healthz() (ok bool, detail string) {
 			warns = append(warns, "control SLO warn: "+v.Detail)
 		}
 	}
+	warns = append(warns, activeAnnotations()...)
 	if len(warns) > 0 {
 		return true, "supervisor engaged; " + strings.Join(warns, "; ")
 	}

@@ -87,8 +87,30 @@ var quantileExports = []struct {
 // the bucket snapshot at scrape time (see HistogramSnapshot.Quantile).
 // Scrape-time estimation keeps Observe untouched — the hot path stays
 // a bucket scan plus two atomics (gated by TestHistogramObserveAllocFree).
+// Instruments with no observations are skipped — Quantile of an empty
+// snapshot is NaN, which must not leak into the exposition (Prometheus
+// parses it, but every consumer downstream of the scrape then chokes
+// on a meaningless series) — and the family header is emitted only
+// when at least one instrument has samples.
 func renderQuantiles(sb *strings.Builder, name string, keys []string, insts []renderable) {
 	qname := name + "_quantile"
+	var body strings.Builder
+	for i, inst := range insts {
+		h, ok := inst.(*histogram)
+		if !ok {
+			continue
+		}
+		s := h.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		for _, qe := range quantileExports {
+			writeSample(&body, qname, withQuantile(keys[i], qe.label), formatFloat(s.Quantile(qe.q)))
+		}
+	}
+	if body.Len() == 0 {
+		return
+	}
 	sb.WriteString("# HELP ")
 	sb.WriteString(qname)
 	sb.WriteString(" estimated quantiles of ")
@@ -96,16 +118,7 @@ func renderQuantiles(sb *strings.Builder, name string, keys []string, insts []re
 	sb.WriteString(" (linear interpolation within buckets)\n# TYPE ")
 	sb.WriteString(qname)
 	sb.WriteString(" gauge\n")
-	for i, inst := range insts {
-		h, ok := inst.(*histogram)
-		if !ok {
-			continue
-		}
-		s := h.Snapshot()
-		for _, qe := range quantileExports {
-			writeSample(sb, qname, withQuantile(keys[i], qe.label), formatFloat(s.Quantile(qe.q)))
-		}
-	}
+	sb.WriteString(body.String())
 }
 
 // withQuantile appends the quantile label to an already-rendered label

@@ -58,6 +58,75 @@ func TestPrometheusExposesQuantiles(t *testing.T) {
 	}
 }
 
+// TestPrometheusEmptyHistogramNoNaN pins the empty-histogram scrape
+// behavior: a registered histogram with no observations must not leak
+// "NaN" quantile samples into the exposition — the series (and, with
+// no populated siblings, the whole _quantile family) is omitted until
+// the first Observe.
+func TestPrometheusEmptyHistogramNoNaN(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("cold_seconds", "never observed", []float64{0.1, 1})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("empty histogram leaked NaN into the exposition:\n%s", out)
+	}
+	if strings.Contains(out, "cold_seconds_quantile") {
+		t.Fatalf("empty histogram emitted a quantile family:\n%s", out)
+	}
+	// The histogram family itself still renders (zero-valued buckets are
+	// meaningful).
+	if !strings.Contains(out, "# TYPE cold_seconds histogram") {
+		t.Fatalf("histogram family missing:\n%s", out)
+	}
+
+	// A single observation brings the quantile series back, NaN-free,
+	// with all three quantiles collapsed onto the sample's bucket.
+	r2 := NewRegistry()
+	h := r2.Histogram("one_seconds", "single sample", []float64{0.1, 1})
+	h.Observe(0.05)
+	sb.Reset()
+	if err := r2.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out = sb.String()
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("single-sample histogram leaked NaN:\n%s", out)
+	}
+	for _, q := range []string{"0.5", "0.95", "0.99"} {
+		if !strings.Contains(out, `one_seconds_quantile{quantile="`+q+`"}`) {
+			t.Fatalf("missing quantile %s after one observation:\n%s", q, out)
+		}
+	}
+}
+
+// TestPrometheusMixedHistogramFamily pins the per-instrument skip: in
+// a family where only some labeled instruments have samples, the
+// populated ones expose quantiles and the empty ones are omitted.
+func TestPrometheusMixedHistogramFamily(t *testing.T) {
+	r := NewRegistry()
+	warm := r.Histogram("mix_seconds", "mixed", []float64{0.1, 1}, L("loop", "warm"))
+	r.Histogram("mix_seconds", "mixed", []float64{0.1, 1}, L("loop", "cold"))
+	warm.Observe(0.5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `mix_seconds_quantile{loop="warm",quantile="0.5"}`) {
+		t.Fatalf("populated instrument lost its quantiles:\n%s", out)
+	}
+	if strings.Contains(out, `loop="cold",quantile`) {
+		t.Fatalf("empty instrument leaked quantile series:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("NaN in mixed-family exposition:\n%s", out)
+	}
+}
+
 // TestHistogramObserveAllocFree gates the hot path: quantiles are
 // estimated at scrape time, so Observe stays allocation-free on both
 // the live and the nop tier.

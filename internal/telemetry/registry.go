@@ -304,6 +304,18 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 	r.register(name, help, "gauge", labels, funcGauge(fn))
 }
 
+// CounterFunc registers a counter whose cumulative value is read at
+// scrape time by fn — for mirroring counters maintained elsewhere
+// (e.g. the obs bus's atomic drop count) without a write-through
+// instrument. fn must be monotonic and safe to call from the scrape
+// goroutine.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if !r.Enabled() {
+		return
+	}
+	r.register(name, help, "counter", labels, funcGauge(fn))
+}
+
 // Histogram registers (or fetches) a histogram with the given inclusive
 // bucket upper bounds (ascending; the +Inf bucket is implicit).
 func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) Histogram {

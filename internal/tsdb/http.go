@@ -1,0 +1,230 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mimoctl/internal/telemetry"
+)
+
+// HistoryPoint is one query-result sample on the wire (JSONFloat so
+// NaN/Inf telemetry survives encoding).
+type HistoryPoint struct {
+	Epoch uint64              `json:"epoch"`
+	Min   telemetry.JSONFloat `json:"min"`
+	Max   telemetry.JSONFloat `json:"max"`
+	Mean  telemetry.JSONFloat `json:"mean"`
+	Count uint64              `json:"count"`
+}
+
+// HistoryResponse is the per-loop /history JSON body.
+type HistoryResponse struct {
+	Loop       string         `json:"loop"`
+	Signal     string         `json:"signal"`
+	Resolution string         `json:"resolution"`
+	Points     []HistoryPoint `json:"points"`
+}
+
+// FleetHistoryPoint is one cross-loop aggregate sample on the wire.
+type FleetHistoryPoint struct {
+	Epoch     uint64                `json:"epoch"`
+	Loops     int                   `json:"loops"`
+	Min       telemetry.JSONFloat   `json:"min"`
+	Max       telemetry.JSONFloat   `json:"max"`
+	Mean      telemetry.JSONFloat   `json:"mean"`
+	Quantiles []telemetry.JSONFloat `json:"quantiles,omitempty"`
+}
+
+// FleetHistoryResponse is the fleet-wide /history JSON body
+// (loop omitted or "*").
+type FleetHistoryResponse struct {
+	Signal     string              `json:"signal"`
+	Resolution string              `json:"resolution"`
+	Quantiles  []float64           `json:"quantile_levels,omitempty"`
+	Points     []FleetHistoryPoint `json:"points"`
+}
+
+// parseQuantiles parses "0.5,0.95"-style lists; values must be in
+// (0, 1).
+func parseQuantiles(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	qs := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		q, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || math.IsNaN(q) || q <= 0 || q >= 1 {
+			return nil, fmt.Errorf("bad quantile %q", p)
+		}
+		qs = append(qs, q)
+	}
+	sort.Float64s(qs)
+	return qs, nil
+}
+
+// Handler serves the history query API:
+//
+//	/history?loop=L&signal=S[&from=A][&to=B][&res=auto|1x|16x|256x][&format=csv]
+//
+// With loop omitted (or "*") it aggregates the signal across every
+// loop per epoch bucket — min/max/mean of the per-loop bucket means —
+// plus optional &q=0.5,0.95 percentiles. With signal omitted it lists
+// the recorded (loop, signal) keys. from/to default to the full
+// retained range; a query older than raw retention transparently falls
+// back to the coarser rollups (res=auto).
+func (db *DB) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		signal := q.Get("signal")
+		if signal == "" {
+			db.serveKeys(w)
+			return
+		}
+		res, ok := ParseResolution(q.Get("res"))
+		if !ok {
+			http.Error(w, "bad res (want auto, 1x/raw, 16x/mid or 256x/coarse)", http.StatusBadRequest)
+			return
+		}
+		from, to := uint64(0), uint64(math.MaxUint64)
+		if s := q.Get("from"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad from", http.StatusBadRequest)
+				return
+			}
+			from = v
+		}
+		if s := q.Get("to"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad to", http.StatusBadRequest)
+				return
+			}
+			to = v
+		}
+		if from > to {
+			http.Error(w, "from > to", http.StatusBadRequest)
+			return
+		}
+		csv := q.Get("format") == "csv"
+		loop := q.Get("loop")
+		if loop == "" || loop == "*" {
+			qs, err := parseQuantiles(q.Get("q"))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			db.serveFleet(w, signal, from, to, res, qs, csv)
+			return
+		}
+		db.serveLoop(w, loop, signal, from, to, res, csv)
+	})
+}
+
+// serveKeys lists recorded series keys as JSON.
+func (db *DB) serveKeys(w http.ResponseWriter) {
+	type key struct {
+		Loop   string `json:"loop"`
+		Signal string `json:"signal"`
+	}
+	keys := db.Keys()
+	out := make([]key, len(keys))
+	for i, k := range keys {
+		out[i] = key{Loop: k.Loop, Signal: k.Signal}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Series []key `json:"series"`
+	}{out})
+}
+
+func (db *DB) serveLoop(w http.ResponseWriter, loop, signal string, from, to uint64, res Resolution, csv bool) {
+	if db.Lookup(loop, signal) == nil {
+		http.Error(w, "unknown series "+loop+"/"+signal, http.StatusNotFound)
+		return
+	}
+	pts, got := db.Query(nil, loop, signal, from, to, res)
+	if csv {
+		w.Header().Set("Content-Type", "text/csv")
+		fmt.Fprintln(w, "epoch,min,max,mean,count")
+		for _, p := range pts {
+			fmt.Fprintf(w, "%d,%s,%s,%s,%d\n", p.Epoch,
+				fmtFloat(p.Min), fmtFloat(p.Max), fmtFloat(p.Mean), p.Count)
+		}
+		return
+	}
+	resp := HistoryResponse{Loop: loop, Signal: signal, Resolution: got.String(),
+		Points: make([]HistoryPoint, len(pts))}
+	for i, p := range pts {
+		resp.Points[i] = HistoryPoint{Epoch: p.Epoch,
+			Min: telemetry.JSONFloat(p.Min), Max: telemetry.JSONFloat(p.Max),
+			Mean: telemetry.JSONFloat(p.Mean), Count: p.Count}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+func (db *DB) serveFleet(w http.ResponseWriter, signal string, from, to uint64, res Resolution, qs []float64, csv bool) {
+	pts, got := db.QueryFleet(signal, from, to, res, qs)
+	if csv {
+		w.Header().Set("Content-Type", "text/csv")
+		hdr := "epoch,loops,min,max,mean"
+		for _, q := range qs {
+			hdr += fmt.Sprintf(",p%g", q*100)
+		}
+		fmt.Fprintln(w, hdr)
+		for _, p := range pts {
+			fmt.Fprintf(w, "%d,%d,%s,%s,%s", p.Epoch, p.Loops,
+				fmtFloat(p.Min), fmtFloat(p.Max), fmtFloat(p.Mean))
+			for _, v := range p.Quantiles {
+				fmt.Fprintf(w, ",%s", fmtFloat(v))
+			}
+			fmt.Fprintln(w)
+		}
+		return
+	}
+	resp := FleetHistoryResponse{Signal: signal, Resolution: got.String(),
+		Quantiles: qs, Points: make([]FleetHistoryPoint, len(pts))}
+	for i, p := range pts {
+		fp := FleetHistoryPoint{Epoch: p.Epoch, Loops: p.Loops,
+			Min: telemetry.JSONFloat(p.Min), Max: telemetry.JSONFloat(p.Max),
+			Mean: telemetry.JSONFloat(p.Mean)}
+		if len(p.Quantiles) > 0 {
+			fp.Quantiles = make([]telemetry.JSONFloat, len(p.Quantiles))
+			for j, v := range p.Quantiles {
+				fp.Quantiles[j] = telemetry.JSONFloat(v)
+			}
+		}
+		resp.Points[i] = fp
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+// fmtFloat renders CSV floats compactly, keeping NaN/Inf spellings
+// parseable by strconv.ParseFloat.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Endpoint returns the diagnostics route to mount via
+// telemetry.ServerOptions.Extra.
+func (db *DB) Endpoint() telemetry.Endpoint {
+	return telemetry.Endpoint{
+		Path:    "/history",
+		Desc:    "telemetry history query (JSON; ?loop=&signal=&from=&to=&res=&format=csv)",
+		Handler: db.Handler(),
+	}
+}

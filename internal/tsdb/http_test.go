@@ -1,0 +1,162 @@
+package tsdb
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden /history responses with the current outputs")
+
+// goldenDB builds a deterministic two-loop store for the query golden.
+func goldenDB() *DB {
+	db := New(Options{})
+	for li, loop := range []string{"core0", "core1"} {
+		s := db.Series(loop, "ips")
+		p := db.Series(loop, "power_w")
+		for e := uint64(0); e < 64; e++ {
+			// Piecewise-deterministic shapes: a ramp with a step, offset
+			// per loop, plus a NaN sentinel at epoch 40 on core1.
+			v := 1.0 + 0.25*float64(li) + 0.01*float64(e)
+			if e >= 32 {
+				v += 0.5
+			}
+			if li == 1 && e == 40 {
+				v = math.NaN()
+			}
+			s.Append(e, v)
+			p.Append(e, 10+float64(li)+0.1*float64(e))
+		}
+		s.Sync()
+		p.Sync()
+	}
+	return db
+}
+
+// get serves one /history request against db and returns status + body.
+func get(t *testing.T, db *DB, url string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rr := httptest.NewRecorder()
+	db.Handler().ServeHTTP(rr, req)
+	return rr.Code, rr.Body.String()
+}
+
+// TestHistoryGolden pins the /history wire format — per-loop JSON and
+// CSV, fleet aggregation with quantiles, mid-resolution rollups, and
+// the key listing — byte-for-byte against committed goldens.
+func TestHistoryGolden(t *testing.T) {
+	db := goldenDB()
+	cases := []struct{ name, url string }{
+		{"loop_raw", "/history?loop=core0&signal=ips&from=0&to=15&res=raw"},
+		{"loop_mid", "/history?loop=core1&signal=ips&res=16x"},
+		{"loop_csv", "/history?loop=core1&signal=ips&from=32&to=47&format=csv"},
+		{"fleet_quantiles", "/history?signal=ips&res=16x&q=0.5,0.95"},
+		{"fleet_csv", "/history?loop=*&signal=power_w&from=0&to=31&res=16x&format=csv&q=0.5"},
+		{"keys", "/history"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			code, body := get(t, db, c.url)
+			if code != 200 {
+				t.Fatalf("status %d: %s", code, body)
+			}
+			path := filepath.Join("testdata", c.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal([]byte(body), want) {
+				t.Fatalf("response differs from %s\ngot:\n%s\nwant:\n%s", path, body, want)
+			}
+		})
+	}
+}
+
+func TestHistoryBadRequests(t *testing.T) {
+	db := goldenDB()
+	cases := []struct {
+		url  string
+		code int
+	}{
+		{"/history?loop=core0&signal=ips&res=2x", 400},
+		{"/history?loop=core0&signal=ips&from=abc", 400},
+		{"/history?loop=core0&signal=ips&to=-1", 400},
+		{"/history?loop=core0&signal=ips&from=10&to=5", 400},
+		{"/history?signal=ips&q=1.5", 400},
+		{"/history?signal=ips&q=0.5,nope", 400},
+		{"/history?loop=absent&signal=ips", 404},
+		{"/history?loop=core0&signal=absent", 404},
+	}
+	for _, c := range cases {
+		if code, body := get(t, db, c.url); code != c.code {
+			t.Errorf("%s: status %d, want %d (%s)", c.url, code, c.code, strings.TrimSpace(body))
+		}
+	}
+}
+
+func TestHistoryNaNSurvivesJSON(t *testing.T) {
+	db := goldenDB()
+	// core1 epoch 40 is NaN; raw JSON must encode it as the JSONFloat
+	// "NaN" string, and the response must parse back.
+	code, body := get(t, db, "/history?loop=core1&signal=ips&from=40&to=40&res=raw")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var resp HistoryResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("response does not re-parse: %v\n%s", err, body)
+	}
+	if len(resp.Points) != 1 || !math.IsNaN(float64(resp.Points[0].Mean)) {
+		t.Fatalf("NaN sample did not survive: %+v", resp.Points)
+	}
+}
+
+func TestHistoryCSVParseable(t *testing.T) {
+	db := goldenDB()
+	_, body := get(t, db, "/history?loop=core1&signal=ips&from=39&to=41&format=csv")
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d CSV lines, want header + 3: %q", len(lines), body)
+	}
+	if lines[0] != "epoch,min,max,mean,count" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "NaN") {
+		t.Fatalf("NaN row not spelled parseably: %q", lines[2])
+	}
+}
+
+func TestHistoryAutoResolution(t *testing.T) {
+	db := goldenDB()
+	code, body := get(t, db, "/history?loop=core0&signal=ips")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var resp HistoryResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Resolution != "raw" {
+		t.Fatalf("auto resolution picked %q for a short run, want raw", resp.Resolution)
+	}
+	if len(resp.Points) != 64 {
+		t.Fatalf("full-range default returned %d points, want 64", len(resp.Points))
+	}
+}

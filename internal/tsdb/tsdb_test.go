@@ -1,0 +1,247 @@
+package tsdb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeriesRawRoundTrip(t *testing.T) {
+	db := New(Options{})
+	s := db.Series("loop-a", "ips")
+	for e := uint64(0); e < 100; e++ {
+		s.Append(e, float64(e)*1.5)
+	}
+	pts, res := s.Query(nil, 0, 99, ResRaw)
+	if res != ResRaw {
+		t.Fatalf("res = %v, want raw", res)
+	}
+	if len(pts) != 100 {
+		t.Fatalf("got %d points, want 100", len(pts))
+	}
+	for i, p := range pts {
+		if p.Epoch != uint64(i) || p.Mean != float64(i)*1.5 || p.Count != 1 {
+			t.Fatalf("point %d = %+v", i, p)
+		}
+	}
+}
+
+func TestRollupAggregates(t *testing.T) {
+	db := New(Options{})
+	s := db.Series("loop-a", "ips")
+	// Three full 16-epoch windows of v = epoch.
+	for e := uint64(0); e < 48; e++ {
+		s.Append(e, float64(e))
+	}
+	s.Sync()
+	pts, res := s.Query(nil, 0, 47, ResMid)
+	if res != ResMid {
+		t.Fatalf("res = %v, want 16x", res)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d mid points, want 3: %+v", len(pts), pts)
+	}
+	for i, p := range pts {
+		base := float64(i * 16)
+		if p.Epoch != uint64(i*16) || p.Count != 16 {
+			t.Fatalf("window %d: %+v", i, p)
+		}
+		if p.Min != base || p.Max != base+15 || p.Mean != base+7.5 {
+			t.Fatalf("window %d stats: %+v", i, p)
+		}
+	}
+}
+
+func TestRollupCascadeToCoarse(t *testing.T) {
+	db := New(Options{})
+	s := db.Series("loop-a", "ips")
+	for e := uint64(0); e < 512; e++ {
+		s.Append(e, 1.0)
+	}
+	s.Sync()
+	pts, res := s.Query(nil, 0, 511, ResCoarse)
+	if res != ResCoarse {
+		t.Fatalf("res = %v, want 256x", res)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d coarse points, want 2: %+v", len(pts), pts)
+	}
+	for i, p := range pts {
+		if p.Epoch != uint64(i*256) || p.Count != 256 || p.Mean != 1.0 || p.Min != 1.0 || p.Max != 1.0 {
+			t.Fatalf("coarse window %d: %+v", i, p)
+		}
+	}
+}
+
+func TestRollupExcludesNonFinite(t *testing.T) {
+	db := New(Options{})
+	s := db.Series("loop-a", "ips")
+	// Window 0: finite values with a NaN and an Inf mixed in.
+	s.Append(0, 2)
+	s.Append(1, math.NaN())
+	s.Append(2, 4)
+	s.Append(3, math.Inf(1))
+	// Window 1: only non-finite samples.
+	s.Append(16, math.NaN())
+	s.Append(17, math.Inf(-1))
+	// Open window 2 to force both earlier windows to flush.
+	s.Append(32, 1)
+	s.Sync()
+
+	pts, _ := s.Query(nil, 0, 31, ResMid)
+	if len(pts) != 2 {
+		t.Fatalf("got %d mid points, want 2: %+v", len(pts), pts)
+	}
+	if pts[0].Count != 2 || pts[0].Min != 2 || pts[0].Max != 4 || pts[0].Mean != 3 {
+		t.Fatalf("window 0: %+v", pts[0])
+	}
+	if pts[1].Count != 0 || !math.IsNaN(pts[1].Mean) {
+		t.Fatalf("all-non-finite window: %+v", pts[1])
+	}
+
+	// Raw resolution still shows the sentinels bit-exactly.
+	raw, _ := s.Query(nil, 1, 1, ResRaw)
+	if len(raw) != 1 || !math.IsNaN(raw[0].Mean) {
+		t.Fatalf("raw NaN sample: %+v", raw)
+	}
+}
+
+func TestRingEvictionKeepsRecent(t *testing.T) {
+	// Tiny blocks: force lots of seals and evictions at the raw level.
+	db := New(Options{BlockBytes: 64, RawBlocks: 2, MidBlocks: 2, CoarseBlocks: 2})
+	s := db.Series("loop-a", "ips")
+	const n = 100000
+	for e := uint64(0); e < n; e++ {
+		// Incompressible-ish values to fill blocks fast.
+		s.Append(e, math.Float64frombits(0x3ff0000000000000|e*0x9e3779b97f4a7c15))
+	}
+	oldest, ok := s.OldestEpoch(ResRaw)
+	if !ok {
+		t.Fatal("raw level empty after 100k appends")
+	}
+	if oldest == 0 {
+		t.Fatal("raw ring never evicted")
+	}
+	// Whatever remains must be a contiguous, correctly-valued suffix.
+	pts, _ := s.Query(nil, oldest, n-1, ResRaw)
+	if len(pts) == 0 {
+		t.Fatal("no raw points in retained range")
+	}
+	want := oldest
+	for _, p := range pts {
+		if p.Epoch != want {
+			t.Fatalf("gap: epoch %d, want %d", p.Epoch, want)
+		}
+		wantV := math.Float64frombits(0x3ff0000000000000 | p.Epoch*0x9e3779b97f4a7c15)
+		if math.Float64bits(p.Mean) != math.Float64bits(wantV) {
+			t.Fatalf("epoch %d: %v, want %v", p.Epoch, p.Mean, wantV)
+		}
+		want++
+	}
+	if want != n {
+		t.Fatalf("retained range ends at %d, want %d", want-1, n-1)
+	}
+	// Coarse retention must reach further back than raw.
+	coarseOldest, ok := s.OldestEpoch(ResCoarse)
+	if !ok || coarseOldest >= oldest {
+		t.Fatalf("coarse retention (%d, %v) does not exceed raw (%d)", coarseOldest, ok, oldest)
+	}
+}
+
+func TestResAutoFallsBack(t *testing.T) {
+	db := New(Options{BlockBytes: 64, RawBlocks: 2, MidBlocks: 4, CoarseBlocks: 4})
+	s := db.Series("loop-a", "ips")
+	const n = 50000
+	for e := uint64(0); e < n; e++ {
+		s.Append(e, math.Float64frombits(e*0x9e3779b97f4a7c15))
+	}
+	s.Sync()
+	rawOldest, _ := s.OldestEpoch(ResRaw)
+	if rawOldest == 0 {
+		t.Skip("raw ring did not wrap; widen n")
+	}
+	// A query from before raw retention must pick a coarser level.
+	_, res := s.Query(nil, 0, n-1, ResAuto)
+	if res == ResRaw {
+		t.Fatalf("auto picked raw for from=0 with raw retention starting at %d", rawOldest)
+	}
+	// A recent query gets raw.
+	_, res = s.Query(nil, n-10, n-1, ResAuto)
+	if res != ResRaw {
+		t.Fatalf("auto picked %v for a recent window, want raw", res)
+	}
+}
+
+func TestQueryFleet(t *testing.T) {
+	db := New(Options{})
+	for i, loop := range []string{"a", "b", "c", "d"} {
+		s := db.Series(loop, "ips")
+		for e := uint64(0); e < 32; e++ {
+			s.Append(e, float64(i+1)) // loop a=1, b=2, c=3, d=4
+		}
+		s.Sync()
+	}
+	pts, res := db.QueryFleet("ips", 0, 31, ResRaw, []float64{0.5})
+	if res != ResRaw {
+		t.Fatalf("res = %v", res)
+	}
+	if len(pts) != 32 {
+		t.Fatalf("got %d fleet points, want 32", len(pts))
+	}
+	for _, p := range pts {
+		if p.Loops != 4 || p.Min != 1 || p.Max != 4 || p.Mean != 2.5 {
+			t.Fatalf("fleet point %+v", p)
+		}
+		if len(p.Quantiles) != 1 || p.Quantiles[0] != 2.5 {
+			t.Fatalf("median %v, want 2.5", p.Quantiles)
+		}
+	}
+	// Unknown signal: empty but typed result.
+	none, _ := db.QueryFleet("nope", 0, 31, ResAuto, nil)
+	if len(none) != 0 {
+		t.Fatalf("unknown signal returned %d points", len(none))
+	}
+}
+
+func TestQuantileSorted(t *testing.T) {
+	vals := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {0.95, 3.85},
+	}
+	for _, c := range cases {
+		if got := quantileSorted(vals, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("q%.2f = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(quantileSorted(nil, 0.5)) {
+		t.Fatal("empty quantile not NaN")
+	}
+	if got := quantileSorted([]float64{7}, 0.99); got != 7 {
+		t.Fatalf("single-sample quantile = %v", got)
+	}
+}
+
+// TestIngestAllocFree is the zero-alloc gate for the steady-state
+// ingest path: after warmup (series created, rings preallocated),
+// appends — including ones that seal blocks and evict ring slots —
+// must not allocate.
+func TestIngestAllocFree(t *testing.T) {
+	db := New(Options{BlockBytes: 256, RawBlocks: 4, MidBlocks: 4, CoarseBlocks: 4})
+	s := db.Series("loop-a", "ips")
+	// Warmup: wrap every ring at least once so eviction recycling is in
+	// steady state.
+	e := uint64(0)
+	for ; e < 200000; e++ {
+		s.Append(e, math.Float64frombits(e*0x9e3779b97f4a7c15))
+	}
+	const n = 50000
+	start := e
+	avg := testing.AllocsPerRun(1, func() {
+		for i := uint64(0); i < n; i++ {
+			s.Append(start+i, math.Float64frombits((start+i)*0x9e3779b97f4a7c15))
+		}
+		start += n
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state ingest allocated (%.1f allocs per %d appends)", avg, n)
+	}
+}

@@ -8,6 +8,7 @@
 #   OBS=1 ./scripts/bench.sh               # observability overhead -> BENCH_obs.json
 #   BATCH=1 ./scripts/bench.sh             # batched fleet backend -> BENCH_batch.json
 #   BATCHSUP=1 ./scripts/bench.sh          # batched supervised tier -> BENCH_batchsup.json
+#   TSDB=1 ./scripts/bench.sh              # telemetry-history overhead -> BENCH_tsdb.json
 #
 # The JSON stream is `go test -json` output: one object per line, with
 # benchmark results in the Output fields of "output" actions. Compare
@@ -31,6 +32,13 @@
 # (root package, ns/lanestep and epochs/sec) plus that kernel's own
 # 0 allocs/op benchmark. make bench-batchsup wraps this with the
 # benchcmp alloc + >=3x speedup gates.
+#
+# TSDB=1 runs the telemetry-history benchmarks: the recorder's batch
+# ingest path (internal/tsdb, required to stay at 0 allocs/op) and the
+# full experiment suite with the observability plane attached, bus
+# draining into no sinks vs into the history recorder (root package) —
+# the detached/attached ns/op ratio is the <5% history budget that
+# make bench-tsdb gates via cmd/benchcmp.
 #
 # PARALLEL=1 runs only the parallel experiment engine benchmarks:
 # BenchmarkExpAll (the full suite at 0/1/4 workers) and the runner's
@@ -56,6 +64,10 @@ elif [ "${BATCHSUP:-0}" = "1" ]; then
     out="${OUT:-BENCH_batchsup.json}"
     echo "== go test -bench '(FleetSupervisedScalar1024|FleetSupervisedBatch1024|BatchSupervisedStep)\$' -benchtime $benchtime -> $out"
     go test -run '^$' -bench '(FleetSupervisedScalar1024|FleetSupervisedBatch1024|BatchSupervisedStep)$' -benchmem -benchtime "$benchtime" -json . ./internal/batch > "$out"
+elif [ "${TSDB:-0}" = "1" ]; then
+    out="${OUT:-BENCH_tsdb.json}"
+    echo "== go test -bench 'TSDBIngest|TSDBSuite' -benchtime $benchtime -> $out"
+    go test -run '^$' -bench 'TSDBIngest|TSDBSuite' -benchmem -benchtime "$benchtime" -json . ./internal/tsdb > "$out"
 elif [ "${PARALLEL:-0}" = "1" ]; then
     out="${OUT:-BENCH_parallel.json}"
     echo "== go test -bench 'ExpAll|RunnerWallClock' -benchtime $benchtime -> $out"
